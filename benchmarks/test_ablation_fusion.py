@@ -1,0 +1,10 @@
+"""Benchmark: the fused-memory-rule ablation (§3.2.3 claim)."""
+from repro.experiments import ablation_fusion
+
+
+def test_ablation_fusion(once):
+    rows = once(ablation_fusion.run)
+    for r in rows:
+        assert abs(r.fused_error_pct) < abs(r.naive_error_pct)
+    print()
+    print(ablation_fusion.to_markdown(rows))

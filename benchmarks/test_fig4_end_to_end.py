@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 4 (end-to-end rooflines, all plots)."""
+from repro.experiments import fig4_end_to_end
+
+
+def test_fig4_all_subplots(once):
+    subplots = once(fig4_end_to_end.run)
+    assert len(subplots) == len(fig4_end_to_end.PLOTS)
+    a100 = subplots[0]
+    assert len(a100.points) == 20
+    # headline reading: most models far below peak
+    below_half = [p for p in a100.points if p.fraction_of_peak < 0.5]
+    assert len(below_half) >= 16
+    print()
+    print(fig4_end_to_end.to_markdown(subplots))

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 5 (layer-wise rooflines on the A100)."""
+from repro.experiments import fig5_layerwise
+
+
+def test_fig5_layerwise(once, tmp_path):
+    results = once(fig5_layerwise.run)
+    assert len(results) == 4
+    by_model = {r.model: r for r in results}
+    assert by_model["efficientnetv2-t"].end_to_end_tflops > \
+        1.5 * by_model["efficientnet-b4"].end_to_end_tflops
+    fig5_layerwise.render_svgs(results, str(tmp_path))
+    print()
+    print(fig5_layerwise.to_markdown(results))

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 6 (ShuffleNet layer-wise + bars)."""
+from repro.experiments import fig6_shufflenet_layerwise
+
+
+def test_fig6_shufflenet(once, tmp_path):
+    variants = once(fig6_shufflenet_layerwise.run)
+    orig = next(v for v in variants if v.label == "original")
+    mod = next(v for v in variants if v.label == "modified")
+    assert orig.movement_share > mod.movement_share
+    fig6_shufflenet_layerwise.render_svgs(variants, str(tmp_path))
+    print()
+    print(fig6_shufflenet_layerwise.to_markdown(variants))

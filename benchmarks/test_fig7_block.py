@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 7 (block-rewrite verification)."""
+from repro.experiments import fig7_block_structure
+
+
+def test_fig7_block(once):
+    result = once(fig7_block_structure.run)
+    assert result.shuffles_removed == 13
+    assert result.residual_adds_added == 13
+    assert result.both_execute
+    print()
+    print(fig7_block_structure.to_markdown(result))

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 8 (layer-wise roofline + EMC lines)."""
+from repro.experiments import fig8_orin_layerwise
+
+
+def test_fig8_orin(once, tmp_path):
+    result = once(fig8_orin_layerwise.run)
+    assert result.slowdown[2133] < result.slowdown[665]
+    fig8_orin_layerwise.render_svg(result, str(tmp_path / "fig8.svg"))
+    print()
+    print(fig8_orin_layerwise.to_markdown(result))

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the quantified Table 1 (tool comparison)."""
+from repro.experiments import table1_tools
+
+
+def test_table1_tools(once):
+    rows = once(table1_tools.run)
+    by_tool = {r.tool: r for r in rows}
+    assert by_tool["PRoof (this work)"].mapping_fraction == 1.0
+    assert by_tool["Hardware (kernel) profiler"].mapping_fraction < 0.05
+    print()
+    print(table1_tools.to_markdown(rows))

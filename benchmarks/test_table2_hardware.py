@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 2 (hardware platform roster)."""
+from repro.experiments import table2_hardware
+
+
+def test_table2_hardware(once):
+    rows = once(table2_hardware.run)
+    assert len(rows) == 7
+    print()
+    print(table2_hardware.to_markdown(rows))

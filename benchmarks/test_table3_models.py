@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 3 (model statistics for the full zoo)."""
+from repro.experiments import table3_models
+
+
+def test_table3_models(once):
+    rows = once(table3_models.run)
+    assert len(rows) == 20
+    # the regenerated table must reproduce the paper's GFLOP column
+    for r in rows:
+        assert abs(r.gflop_diff_pct) < 4.0
+    print()
+    print(table3_models.to_markdown(rows))

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 4 (prediction vs hardware counters)."""
+from repro.experiments import table4_accuracy
+
+
+def test_table4_accuracy(once):
+    rows = once(table4_accuracy.run)
+    assert len(rows) == 5
+    vit = next(r for r in rows if r.model == "vit-tiny")
+    assert vit.flop_diff_pct > 0          # the paper's sign flip
+    for r in rows:
+        assert abs(r.memory_diff_pct) < 6.0
+    print()
+    print(table4_accuracy.to_markdown(rows))

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 5 + Figure 6 (ShuffleNetV2 case study)."""
+from repro.experiments import table5_shufflenet
+
+
+def test_table5_shufflenet(once):
+    result = once(table5_shufflenet.run)
+    for bs in table5_shufflenet.BATCH_SIZES:
+        assert result.speedup(bs) > 1.2
+    print()
+    print(table5_shufflenet.to_markdown(result))

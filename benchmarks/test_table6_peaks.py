@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 6 (achieved peaks vs clocks, Orin NX)."""
+import pytest
+
+from repro.experiments import table6_peaks
+
+
+def test_table6_peaks(once):
+    rows = once(table6_peaks.run)
+    assert len(rows) == 5
+    for r in rows:
+        paper = table6_peaks.PAPER[(r.gpu_clock_mhz, r.memory_clock_mhz)]
+        assert r.tflops == pytest.approx(paper[0], rel=0.10)
+    print()
+    print(table6_peaks.to_markdown(rows))

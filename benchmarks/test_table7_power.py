@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 7 (power-profile study, Orin NX)."""
+from repro.experiments import table7_power
+
+
+def test_table7_power(once):
+    rows = once(table7_power.run)
+    by_row = {r.profile.row: r for r in rows}
+    assert by_row[10].latency_ms < by_row[2].latency_ms
+    assert by_row[10].latency_ms < by_row[3].latency_ms
+    print()
+    print(table7_power.to_markdown(rows))

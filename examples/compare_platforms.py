@@ -1,0 +1,59 @@
+"""End-to-end roofline sweep across platforms (the Figure 4 view).
+
+Profiles a selection of models on every platform (with its paper-paired
+runtime and a sensible precision) and prints each model's roofline
+position — plus one SVG chart per platform.
+
+Run:  python examples/compare_platforms.py
+"""
+from repro.backends import UnsupportedModelError
+from repro.core import (Profiler, RooflinePoint, render_roofline_svg,
+                        roofline_for)
+from repro.hardware import platform
+from repro.ir.tensor import DataType
+from repro.models import MODEL_ZOO
+
+MODELS = ["resnet50", "mobilenetv2-10", "shufflenetv2-10",
+          "efficientnetv2-t", "vit-tiny"]
+
+TARGETS = [
+    ("a100", "trt-sim", "fp16", 128),
+    ("rtx4090", "trt-sim", "fp16", 64),
+    ("xeon6330", "ort-sim", "fp32", 16),
+    ("orin-nx", "trt-sim", "fp16", 16),
+    ("rpi4b", "ort-sim", "fp32", 4),
+    ("npu3720", "ov-sim", "fp16", 8),
+]
+
+for platform_name, backend, precision, batch in TARGETS:
+    spec = platform(platform_name)
+    profiler = Profiler(backend, spec, precision)
+    roof = roofline_for(spec, DataType.parse(precision))
+    print(f"\n=== {platform_name} ({backend}, {precision}, bs={batch}) — "
+          f"peak {roof.peak_flops / 1e12:.1f} TFLOP/s, "
+          f"BW {roof.peak_bandwidth / 1e9:.0f} GB/s, "
+          f"ridge AI {roof.ridge_intensity:.0f} ===")
+    points = []
+    for key in MODELS:
+        entry = MODEL_ZOO[key]
+        if entry.edge_excluded and platform_name in ("orin-nx", "rpi4b",
+                                                     "xeon6330"):
+            print(f"  {key:20s} (skipped on this platform, like the paper)")
+            continue
+        try:
+            report = profiler.profile(entry.build(batch_size=batch))
+        except UnsupportedModelError as exc:
+            print(f"  {key:20s} UNSUPPORTED: {exc}")
+            continue
+        e = report.end_to_end
+        bound = "memory-bound" if roof.is_memory_bound(
+            e.arithmetic_intensity) else "compute-bound"
+        print(f"  {key:20s} AI {e.arithmetic_intensity:7.1f}  "
+              f"{e.achieved_flops / 1e12:8.3f} TFLOP/s  "
+              f"({e.achieved_flops / roof.peak_flops:5.1%} of peak, {bound})")
+        points.append(profiler.end_to_end_point(report))
+    svg_path = f"fig4_{platform_name}.svg"
+    with open(svg_path, "w", encoding="utf-8") as fh:
+        fh.write(render_roofline_svg(
+            roof, points, title=f"end-to-end roofline: {platform_name}"))
+    print(f"  -> {svg_path}")

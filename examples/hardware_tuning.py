@@ -1,0 +1,79 @@
+"""Guiding hardware tuning with PRoof (the paper's §4.6 case study).
+
+Goal: run EfficientNetV2-T on a Jetson Orin NX as fast as possible
+within a 15 W power budget, by picking GPU and memory (EMC) clocks.
+
+The workflow the paper demonstrates:
+1. peak-test the achieved roofline ceilings at candidate clocks;
+2. layer-wise-profile the workload and overlay the candidate memory
+   roofs (Figure 8): if little latency sits above a lower roof, the
+   memory downclock is nearly free;
+3. pick the EMC, then binary-search the GPU clock under the budget.
+
+Run:  python examples/hardware_tuning.py
+"""
+from repro.core import Profiler, measure_peaks
+from repro.hardware import CpuCluster, PowerModel, platform
+from repro.models import efficientnet_v2_t
+
+BUDGET_W = 15.0
+CPU = [CpuCluster(729), CpuCluster(0)]   # second cluster gated off
+orin = platform("orin-nx")
+
+
+def evaluate(gpu_mhz: float, emc_mhz: float):
+    """Latency + power of the workload at the given clocks."""
+    spec = orin.scaled(gpu_mhz, emc_mhz)
+    report = Profiler("trt-sim", spec, "fp16").profile(
+        efficientnet_v2_t(batch_size=128))
+    pm = PowerModel(spec)
+    u_c, u_m = pm.busy_fractions(report)
+    watts = pm.power(u_c, u_m, cpu_clusters=CPU).watts
+    return report.end_to_end.latency_seconds * 1e3, watts
+
+
+print("=== Step 1: achieved roofline ceilings at candidate clocks ===\n")
+for gpu, emc in [(918, 3199), (918, 2133), (510, 3199)]:
+    peak = measure_peaks(orin.scaled(gpu, emc), cpu_clusters=CPU)
+    print(f"GPU {gpu:4d} / EMC {emc:4d} MHz: {peak.tflops:6.2f} TFLOP/s, "
+          f"{peak.bandwidth_gbs:5.1f} GB/s, {peak.power_watts:5.1f} W")
+
+print("\n=== Step 2: which layers would a memory downclock hurt? ===\n")
+report = Profiler("trt-sim", orin, "fp16").profile(
+    efficientnet_v2_t(batch_size=128))
+for emc in (2133, 665):
+    deliverable = orin.achievable_bandwidth * emc / orin.memory_clock_mhz
+    affected = sum(l.latency_seconds for l in report.layers
+                   if l.achieved_bandwidth > deliverable)
+    share = affected / report.end_to_end.latency_seconds
+    print(f"EMC {emc:4d} MHz delivers {deliverable / 1e9:5.1f} GB/s -> "
+          f"{share:.0%} of latency demands more")
+print("-> 2133 MHz is a worthwhile trade; 665 MHz is not.")
+
+print("\n=== Step 3: binary-search the GPU clock under the budget ===\n")
+EMC = 2133
+lo, hi = 300, 918
+while hi - lo > 10:
+    mid = (lo + hi) / 2
+    _, watts = evaluate(mid, EMC)
+    if watts <= BUDGET_W:
+        lo = mid
+    else:
+        hi = mid
+gpu_clock = round(lo / 2) * 2
+latency, watts = evaluate(gpu_clock, EMC)
+print(f"selected GPU clock: {gpu_clock:.0f} MHz @ EMC {EMC} MHz")
+print(f"-> {latency:.1f} ms, {watts:.1f} W (budget {BUDGET_W} W)")
+
+print("\n=== Step 4: compare against the stock profiles ===\n")
+profiles = [
+    ("stock MAXN   (918/3199)", 918, 3199),
+    ("stock 25W    (408/3199)", 408, 3199),
+    (f"ours ({gpu_clock:.0f}/{EMC})", gpu_clock, EMC),
+]
+for label, gpu, emc in profiles:
+    lat, w = evaluate(gpu, emc)
+    tag = "within budget" if w <= BUDGET_W else "over budget"
+    print(f"{label:26s} {lat:7.1f} ms  {w:5.1f} W  ({tag})")
+print("\nThe tuned profile beats every stock profile that fits the "
+      "budget — the paper's Table 7 conclusion.")

@@ -1,0 +1,60 @@
+"""Measured vs predicted metrics (the paper's §4.2 / Table 4 workflow).
+
+PRoof's two metric sources answer the same questions at very different
+cost:
+
+* **predicted** — the analytical model (§3.2): FLOP from operator
+  semantics, memory from Equation 1 with the fused-subgraph rule.
+  Costs milliseconds, works on platforms without profiling tools.
+* **measured** — hardware counters (simulated NCU): what the silicon
+  executed, including tensor-core tile padding, minus SFU work the
+  counters cannot see.  Costs minutes of kernel replays.
+
+This example profiles one model both ways, prints the per-layer
+deviation like Table 4 does end-to-end, and writes an HTML visual
+report for each mode.
+
+Run:  python examples/measured_vs_predicted.py
+"""
+from repro.core import MetricSource, Profiler, save_html_report
+from repro.models import build_model
+
+MODEL, BATCH = "efficientnetv2-t", 64
+
+predicted = Profiler("trt-sim", "a100", "fp16", MetricSource.PREDICTED)
+measured = Profiler("trt-sim", "a100", "fp16", MetricSource.MEASURED)
+
+rep_p = predicted.profile(build_model(MODEL, batch_size=BATCH))
+rep_m = measured.profile(build_model(MODEL, batch_size=BATCH))
+
+print(f"=== {MODEL} on A100 (fp16, bs={BATCH}) ===\n")
+print(f"{'':14s} {'predicted':>14s} {'measured':>14s} {'diff':>8s}")
+pe, me = rep_p.end_to_end, rep_m.end_to_end
+for label, p, m in [
+    ("GFLOP", pe.flop / 1e9, me.flop / 1e9),
+    ("memory (MB)", pe.memory_bytes / 1e6, me.memory_bytes / 1e6),
+    ("TFLOP/s", pe.achieved_flops / 1e12, me.achieved_flops / 1e12),
+]:
+    print(f"{label:14s} {p:14.1f} {m:14.1f} {(p - m) / m * 100:+7.1f}%")
+print(f"\nmetric-collection cost: predicted ~0 s, measured "
+      f"{rep_m.profiling_overhead_seconds:.0f} s of counter replays "
+      f"(the Table 4 'Prof. time' column).")
+
+print("\nper-layer FLOP deviation, top-5 largest:")
+pairs = []
+for lp, lm in zip(rep_p.layers, rep_m.layers):
+    if lm.flop > 0 and lp.flop > 0:
+        pairs.append((abs(lp.flop - lm.flop) / lm.flop, lp, lm))
+pairs.sort(reverse=True, key=lambda t: t[0])
+for dev, lp, lm in pairs[:5]:
+    print(f"  {lp.name[:52]:52s} {lp.op_class:16s} "
+          f"pred {lp.flop / 1e9:8.3f} G  meas {lm.flop / 1e9:8.3f} G "
+          f"({(lp.flop - lm.flop) / lm.flop * 100:+6.1f}%)")
+print("\n(matrix layers measure high — tile padding; activation-heavy "
+      "layers measure low — SFU work is invisible to the counters.)")
+
+for mode, rep, prof in [("predicted", rep_p, predicted),
+                        ("measured", rep_m, measured)]:
+    path = f"{MODEL}_{mode}.html"
+    save_html_report(path, rep, prof.roofline(), prof.layer_points(rep))
+    print(f"visual report: {path}")

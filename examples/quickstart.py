@@ -1,0 +1,46 @@
+"""Quickstart: profile a zoo model and read the roofline analysis.
+
+Run:  python examples/quickstart.py
+"""
+from repro.core import Profiler, format_report, render_roofline_svg
+from repro.models import build_model
+
+# 1. Pick a model from the zoo (any Table 3 row) at a deployment batch.
+graph = build_model("resnet50", batch_size=128)
+
+# 2. Configure PRoof: a backend (simulated inference runtime), a target
+#    platform, a deployment precision, and the metric source —
+#    "predicted" uses the analytical FLOP/memory model (works on every
+#    platform, costs nothing), "measured" uses the simulated hardware
+#    counters (NCU-like, costs replay time).
+profiler = Profiler(backend="trt-sim", spec="a100", precision="fp16")
+
+# 3. Profile: compiles the model, reads per-backend-layer latencies,
+#    maps each backend layer back to the model-design layers, and
+#    attaches FLOP / memory / roofline metrics.
+report = profiler.profile(graph)
+
+# 4. The data-viewer's text report: end-to-end summary + layer table.
+print(format_report(report, top=15))
+
+# 5. Layer-wise roofline chart (hover a point for the layer name).
+svg = render_roofline_svg(
+    profiler.roofline(),
+    profiler.layer_points(report),
+    title=f"{report.model_name} on {report.platform_name}",
+)
+with open("resnet50_roofline.svg", "w", encoding="utf-8") as fh:
+    fh.write(svg)
+print("\nchart written to resnet50_roofline.svg")
+
+# 6. Everything is also available programmatically:
+e = report.end_to_end
+print(f"\nachieved {e.achieved_flops / 1e12:.1f} TFLOP/s at arithmetic "
+      f"intensity {e.arithmetic_intensity:.0f} FLOP/byte "
+      f"({e.achieved_flops / report.peak_flops:.0%} of the fp16 peak)")
+
+# ... including the bidirectional model-layer <-> backend-layer mapping:
+conv1 = next(n.name for n in graph.nodes if n.op_type == "Conv")
+layer = report.layer_by_model_op(conv1)
+print(f"model layer {conv1!r} executes inside backend layer "
+      f"{layer.name!r} together with {layer.model_layers}")

@@ -1,0 +1,14 @@
+"""PRoof reproduction: hierarchical DNN profiling with roofline analysis.
+
+Top-level convenience re-exports; see subpackages for the full API:
+
+- :mod:`repro.ir` -- graph IR (ONNX stand-in)
+- :mod:`repro.models` -- the 20-model evaluation zoo
+- :mod:`repro.analysis` -- Analyze Representation + FLOP/memory prediction
+- :mod:`repro.backends` -- simulated inference runtimes
+- :mod:`repro.hardware` -- platform specs, latency/counter/power simulators
+- :mod:`repro.core` -- the PRoof profiler, roofline math, reports, CLI
+- :mod:`repro.experiments` -- per-table/figure reproduction drivers
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,10 @@
+"""Analysis representations: operator defines, AR and OAR (paper §3.2)."""
+from .opdefs import OpClass, OpCost, OpView, OperatorDef, classify, cost_of, operator_def
+from .arep import AnalyzedOp, AnalyzeRepresentation, ModelStats
+from .oarep import FusedOp, MappingError, OptimizedAnalyzeRepresentation
+
+__all__ = [
+    "OpClass", "OpCost", "OpView", "OperatorDef", "classify", "cost_of",
+    "operator_def", "AnalyzedOp", "AnalyzeRepresentation", "ModelStats",
+    "FusedOp", "MappingError", "OptimizedAnalyzeRepresentation",
+]

@@ -1,0 +1,140 @@
+"""Analyze Representation (paper §3.2.2).
+
+PRoof's internal representation of the model: every graph node becomes
+an :class:`AnalyzedOp` that pairs the node with its operator define,
+plus the tensor table from shape inference.  The representation is
+backend-independent; the Optimized Analyze Representation (§3.2.3)
+derives from it.
+"""
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..ir.graph import Graph
+from ..ir.node import Node
+from ..ir.shape_inference import infer_shapes
+from ..ir.tensor import DataType, TensorInfo
+from .opdefs import OpClass, OpCost, OpView, cost_of, operator_def
+
+__all__ = ["AnalyzedOp", "AnalyzeRepresentation", "ModelStats"]
+
+
+class AnalyzedOp:
+    """One model-design operator with cost-prediction behaviour."""
+
+    def __init__(self, node: Node, rep: "AnalyzeRepresentation") -> None:
+        self.node = node
+        self._rep = rep
+
+    @property
+    def name(self) -> str:
+        return self.node.name or self.node.op_type
+
+    @property
+    def op_type(self) -> str:
+        return self.node.op_type
+
+    @property
+    def inputs(self) -> List[str]:
+        return self.node.present_inputs
+
+    @property
+    def outputs(self) -> List[str]:
+        return list(self.node.outputs)
+
+    @property
+    def member_nodes(self) -> List[Node]:
+        """Uniform accessor shared with ``_FusedOp`` (single member here)."""
+        return [self.node]
+
+    def op_class(self) -> OpClass:
+        return operator_def(self.node.op_type).classify(
+            OpView(self.node, self._rep.tensor))
+
+    def cost(self, precision: Optional[DataType] = None) -> OpCost:
+        return cost_of(self.node, self._rep.tensor,
+                       precision or self._rep.precision)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AnalyzedOp({self.name!r}, {self.op_type})"
+
+
+class ModelStats:
+    """Headline model statistics — the columns of Table 3."""
+
+    def __init__(self, name: str, num_nodes: int, params: int,
+                 flop: float, memory_bytes: float) -> None:
+        self.name = name
+        self.num_nodes = num_nodes
+        self.params = params
+        self.flop = flop
+        self.memory_bytes = memory_bytes
+
+    @property
+    def gflop(self) -> float:
+        return self.flop / 1e9
+
+    @property
+    def params_m(self) -> float:
+        return self.params / 1e6
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ModelStats({self.name!r}, nodes={self.num_nodes}, "
+                f"params={self.params_m:.1f}M, gflop={self.gflop:.3f})")
+
+
+class AnalyzeRepresentation:
+    """The model as a set of operator objects plus tensor information."""
+
+    def __init__(self, graph: Graph, precision: DataType = DataType.FLOAT32) -> None:
+        if not graph.value_info:
+            infer_shapes(graph)
+        self.graph = graph
+        self.precision = precision
+        self.ops: List[AnalyzedOp] = [AnalyzedOp(n, self) for n in graph.toposort()]
+        self._by_output: Dict[str, AnalyzedOp] = {}
+        for op in self.ops:
+            for out in op.outputs:
+                self._by_output[out] = op
+
+    # -- tensor info -------------------------------------------------------
+    def tensor(self, name: str) -> TensorInfo:
+        return self.graph.tensor(name)
+
+    def has_tensor(self, name: str) -> bool:
+        return self.graph.has_tensor(name)
+
+    # -- lookup ------------------------------------------------------------
+    def op_by_output(self, tensor: str) -> Optional[AnalyzedOp]:
+        return self._by_output.get(tensor)
+
+    def op_by_name(self, name: str) -> Optional[AnalyzedOp]:
+        for op in self.ops:
+            if op.name == name:
+                return op
+        return None
+
+    # -- aggregate costs ----------------------------------------------------
+    def total_cost(self, precision: Optional[DataType] = None) -> OpCost:
+        """Model-level FLOP / memory prediction, *without* fusion (the
+        fused totals come from the Optimized Analyze Representation)."""
+        total = OpCost(0.0, 0.0, 0.0)
+        for op in self.ops:
+            total = total + op.cost(precision)
+        return total
+
+    def stats(self) -> ModelStats:
+        cost = self.total_cost()
+        return ModelStats(
+            name=self.graph.name,
+            num_nodes=self.graph.num_nodes,
+            params=self.graph.num_parameters(),
+            flop=cost.flop,
+            memory_bytes=cost.memory_bytes,
+        )
+
+    def __iter__(self) -> Iterator[AnalyzedOp]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)

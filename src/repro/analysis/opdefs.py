@@ -1,0 +1,484 @@
+"""Operator defines: per-operator FLOP and memory-access prediction rules.
+
+This implements the paper's §3.2.1.  Each IR op type maps to an
+:class:`OperatorDef` that knows
+
+* its **op class** (tensor-core matmul, depthwise conv, elementwise,
+  data movement, …) — used by the hardware latency model and for the
+  roofline chart coloring of Figures 5/6/8;
+* its **model FLOP**: the arithmetic conceptually required by the layer
+  (a multiply-accumulate counts as 2 FLOP, footnote 3 of the paper);
+* its **memory accesses**: Equation 1 — every input read once, every
+  output written once — with the paper's special cases: strided
+  convolutions skip part of their input, and ``Shape``/``Reshape``-like
+  ops move no data at all.
+
+Memory is reported *per tensor* (name → bytes) rather than as one
+total, because the fused-operator rule (§3.2.3) needs to drop the
+contributions of tensors that stay on-chip inside a fused subgraph.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ir.node import Node
+from ..ir.tensor import DataType, TensorInfo
+
+__all__ = ["OpClass", "OpView", "OperatorDef", "OpCost", "cost_of",
+           "operator_def", "classify"]
+
+
+class OpClass(Enum):
+    """Coarse performance class of an operator.
+
+    The hardware simulator keys its efficiency model on this, and the
+    layer-wise roofline charts color points by it (conv kinds for
+    Figures 5(d)/6/8, MatMul for Figure 5(b)).
+    """
+
+    MATMUL = "matmul"                # dense GEMM — tensor-core eligible
+    CONV = "conv"                    # spatial convolution (kernel > 1x1, dense)
+    POINTWISE_CONV = "pointwise_conv"  # 1x1 convolution — a GEMM in disguise
+    DEPTHWISE_CONV = "depthwise_conv"  # group == channels — low-AI conv
+    ELEMENTWISE = "elementwise"      # map ops: activation, add, mul, ...
+    REDUCTION = "reduction"          # pooling, ReduceMean, ArgMax, ...
+    NORMALIZATION = "normalization"  # batch/layer/group norm
+    SOFTMAX = "softmax"
+    DATA_MOVEMENT = "data_movement"  # transpose / concat / slice / copy
+    EMBEDDING = "embedding"          # gather from a parameter table
+    ZERO_COST = "zero_cost"          # Shape / Reshape / views — free at runtime
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Predicted cost of one operator (or fused operator)."""
+
+    flop: float
+    read_bytes: float
+    write_bytes: float
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOP per byte of DRAM traffic (inf for zero-byte ops)."""
+        if self.memory_bytes <= 0:
+            return math.inf if self.flop > 0 else 0.0
+        return self.flop / self.memory_bytes
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        return OpCost(self.flop + other.flop,
+                      self.read_bytes + other.read_bytes,
+                      self.write_bytes + other.write_bytes)
+
+
+class OpView:
+    """An operator plus the context needed to cost it.
+
+    Wraps a node, a tensor-info resolver and the *deployment precision*
+    (the datatype the backend actually runs in).  Byte counts use the
+    deployed itemsize for float tensors — a model authored in fp32 but
+    deployed in fp16 moves half the bytes — while integer bookkeeping
+    tensors keep their own width.
+    """
+
+    def __init__(self, node: Node, info_fn: Callable[[str], TensorInfo],
+                 precision: DataType = DataType.FLOAT32) -> None:
+        self.node = node
+        self._info_fn = info_fn
+        self.precision = precision
+
+    def info(self, name: str) -> TensorInfo:
+        return self._info_fn(name)
+
+    def in_info(self, idx: int) -> TensorInfo:
+        return self._info_fn(self.node.inputs[idx])
+
+    def out_info(self, idx: int = 0) -> TensorInfo:
+        return self._info_fn(self.node.outputs[idx])
+
+    def nbytes(self, info: TensorInfo) -> float:
+        itemsize = self.precision.itemsize if info.dtype.is_float else info.dtype.itemsize
+        return info.numel * itemsize
+
+    @property
+    def present_inputs(self) -> List[str]:
+        return self.node.present_inputs
+
+    @property
+    def outputs(self) -> List[str]:
+        return self.node.outputs
+
+
+class OperatorDef:
+    """Base operator define: Equation 1 memory, zero FLOP.
+
+    Subclasses override :meth:`flop` and, where the paper calls for
+    special treatment, :meth:`read_bytes` / :meth:`write_bytes`.
+    """
+
+    op_class: OpClass = OpClass.ELEMENTWISE
+
+    def classify(self, op: OpView) -> OpClass:
+        """Op class; overridable per-instance (Conv varies by attrs)."""
+        return self.op_class
+
+    def flop(self, op: OpView) -> float:
+        return 0.0
+
+    def read_bytes(self, op: OpView) -> Dict[str, float]:
+        return {name: op.nbytes(op.info(name)) for name in op.present_inputs}
+
+    def write_bytes(self, op: OpView) -> Dict[str, float]:
+        return {name: op.nbytes(op.info(name)) for name in op.outputs}
+
+    def cost(self, op: OpView) -> OpCost:
+        return OpCost(
+            flop=self.flop(op),
+            read_bytes=sum(self.read_bytes(op).values()),
+            write_bytes=sum(self.write_bytes(op).values()),
+        )
+
+
+_REGISTRY: Dict[str, OperatorDef] = {}
+
+
+def _register(*op_types: str):
+    def deco(cls):
+        inst = cls()
+        for op in op_types:
+            _REGISTRY[op] = inst
+        return cls
+    return deco
+
+
+def operator_def(op_type: str) -> OperatorDef:
+    """Look up the operator define for an op type (default rules if unknown)."""
+    return _REGISTRY.get(op_type, _DEFAULT)
+
+
+def cost_of(node: Node, info_fn: Callable[[str], TensorInfo],
+            precision: DataType = DataType.FLOAT32) -> OpCost:
+    """Predict FLOP and memory bytes for one node."""
+    op = OpView(node, info_fn, precision)
+    return operator_def(node.op_type).cost(op)
+
+
+def classify(node: Node, info_fn: Callable[[str], TensorInfo]) -> OpClass:
+    """The performance class of a node."""
+    op = OpView(node, info_fn)
+    return operator_def(node.op_type).classify(op)
+
+
+# ---------------------------------------------------------------------------
+# zero-cost ops: no data movement at runtime (paper §3.2.1)
+# ---------------------------------------------------------------------------
+@_register("Shape", "Reshape", "Flatten", "Squeeze", "Unsqueeze", "Identity",
+           "Dropout", "Constant", "ConstantOfShape", "Range")
+class _ZeroCostDef(OperatorDef):
+    """Views and shape bookkeeping: runtimes implement these without
+    touching the tensor payload."""
+
+    op_class = OpClass.ZERO_COST
+
+    def read_bytes(self, op: OpView) -> Dict[str, float]:
+        return {}
+
+    def write_bytes(self, op: OpView) -> Dict[str, float]:
+        return {}
+
+
+# ---------------------------------------------------------------------------
+# convolution family
+# ---------------------------------------------------------------------------
+@_register("Conv")
+class _ConvDef(OperatorDef):
+    op_class = OpClass.CONV
+
+    def classify(self, op: OpView) -> OpClass:
+        w = op.in_info(1)
+        group = op.node.int_attr("group", 1)
+        in_ch = op.in_info(0).shape[1]
+        out_ch = w.shape[0]
+        kernel = w.shape[2:]
+        if group == in_ch and group == out_ch and group > 1:
+            return OpClass.DEPTHWISE_CONV
+        if all(k == 1 for k in kernel):
+            return OpClass.POINTWISE_CONV
+        return OpClass.CONV
+
+    def flop(self, op: OpView) -> float:
+        w = op.in_info(1)
+        out = op.out_info()
+        group = op.node.int_attr("group", 1)
+        cin_per_group = w.shape[1]
+        kernel_elems = math.prod(w.shape[2:])
+        macs = out.numel * cin_per_group * kernel_elems
+        flops = 2.0 * macs
+        if len(op.present_inputs) > 2:  # bias add
+            flops += out.numel
+        return flops
+
+    def read_bytes(self, op: OpView) -> Dict[str, float]:
+        reads = super().read_bytes(op)
+        x = op.in_info(0)
+        kernel = list(op.node.ints_attr("kernel_shape")) or list(op.in_info(1).shape[2:])
+        strides = list(op.node.ints_attr("strides")) or [1] * len(kernel)
+        # Paper special case: with stride larger than the kernel, part of
+        # the input is never touched.
+        frac = 1.0
+        for k, s in zip(kernel, strides):
+            if s > k:
+                frac *= k / s
+        reads[op.node.inputs[0]] = op.nbytes(x) * frac
+        return reads
+
+    def write_bytes(self, op: OpView) -> Dict[str, float]:
+        return {op.node.outputs[0]: op.nbytes(op.out_info())}
+
+
+@_register("ConvTranspose")
+class _ConvTransposeDef(_ConvDef):
+    op_class = OpClass.CONV
+
+    def classify(self, op: OpView) -> OpClass:
+        return OpClass.CONV
+
+    def flop(self, op: OpView) -> float:
+        x = op.in_info(0)
+        w = op.in_info(1)
+        kernel_elems = math.prod(w.shape[2:])
+        macs = x.numel * w.shape[1] * kernel_elems
+        flops = 2.0 * macs
+        if len(op.present_inputs) > 2:
+            flops += op.out_info().numel
+        return flops
+
+    def read_bytes(self, op: OpView) -> Dict[str, float]:
+        return OperatorDef.read_bytes(self, op)
+
+
+# ---------------------------------------------------------------------------
+# dense linear algebra
+# ---------------------------------------------------------------------------
+@_register("MatMul", "Gemm")
+class _MatMulDef(OperatorDef):
+    op_class = OpClass.MATMUL
+
+    def flop(self, op: OpView) -> float:
+        a = op.in_info(0)
+        out = op.out_info()
+        if op.node.op_type == "Gemm":
+            k = a.shape[0] if op.node.int_attr("transA", 0) else a.shape[1]
+        else:
+            k = a.shape[-1]
+        flops = 2.0 * out.numel * k
+        if op.node.op_type == "Gemm" and len(op.present_inputs) > 2:
+            flops += out.numel
+        return flops
+
+
+@_register("Einsum")
+class _EinsumDef(OperatorDef):
+    op_class = OpClass.MATMUL
+
+    def flop(self, op: OpView) -> float:
+        eq = op.node.str_attr("equation").replace(" ", "")
+        lhs, _, rhs = eq.partition("->")
+        terms = lhs.split(",")
+        dims: Dict[str, int] = {}
+        for term, inp in zip(terms, op.present_inputs):
+            for ch, d in zip(term, op.info(inp).shape):
+                dims[ch] = d
+        contracted = set("".join(terms)) - set(rhs)
+        total = math.prod(dims[c] for c in set("".join(terms)))
+        return 2.0 * total if contracted else float(op.out_info().numel)
+
+
+# ---------------------------------------------------------------------------
+# elementwise, with per-op FLOP-per-element weights
+# ---------------------------------------------------------------------------
+_EW_FLOP_PER_ELEM = {
+    # cheap map ops
+    "Relu": 1.0, "LeakyRelu": 2.0, "Clip": 2.0, "Neg": 1.0, "Abs": 1.0,
+    "Sign": 1.0, "Floor": 1.0, "Ceil": 1.0, "Round": 1.0,
+    "Add": 1.0, "Sub": 1.0, "Mul": 1.0, "Min": 1.0, "Max": 1.0,
+    "PRelu": 2.0, "Where": 1.0,
+    "Equal": 1.0, "Greater": 1.0, "Less": 1.0,
+    "GreaterOrEqual": 1.0, "LessOrEqual": 1.0, "Not": 1.0,
+    "And": 1.0, "Or": 1.0, "Xor": 1.0,
+    # transcendental / division: hardware-dependent, the paper accepts
+    # bounded error here (§3.2.1)
+    "Div": 4.0, "Reciprocal": 4.0, "Sqrt": 4.0, "Pow": 8.0,
+    "Exp": 8.0, "Log": 8.0, "Erf": 8.0, "Sigmoid": 10.0, "Tanh": 10.0,
+    "Softplus": 10.0, "Mish": 20.0, "Elu": 10.0, "Selu": 10.0,
+    "HardSigmoid": 3.0, "HardSwish": 4.0, "Gelu": 14.0, "Celu": 10.0,
+    "Mod": 4.0, "CumSum": 1.0, "Trilu": 0.0, "Cast": 0.0,
+    "QuantizeLinear": 2.0, "DequantizeLinear": 2.0,
+}
+
+
+@_register(*_EW_FLOP_PER_ELEM.keys())
+class _ElementwiseDef(OperatorDef):
+    op_class = OpClass.ELEMENTWISE
+
+    def flop(self, op: OpView) -> float:
+        return _EW_FLOP_PER_ELEM[op.node.op_type] * op.out_info().numel
+
+    def read_bytes(self, op: OpView) -> Dict[str, float]:
+        # Scalar operands (clip bounds etc.) are negligible but cheap to
+        # count exactly; Equation 1 reads every input once.
+        return super().read_bytes(op)
+
+
+# ---------------------------------------------------------------------------
+# normalization
+# ---------------------------------------------------------------------------
+@_register("BatchNormalization")
+class _BatchNormDef(OperatorDef):
+    """Inference-mode batchnorm: one scale and one shift per element
+    (folded mean/var), matching what runtimes execute."""
+
+    op_class = OpClass.NORMALIZATION
+
+    def flop(self, op: OpView) -> float:
+        return 2.0 * op.out_info().numel
+
+    def write_bytes(self, op: OpView) -> Dict[str, float]:
+        return {op.node.outputs[0]: op.nbytes(op.out_info())}
+
+
+@_register("LayerNormalization", "InstanceNormalization",
+           "GroupNormalization", "LpNormalization", "LRN")
+class _LayerNormDef(OperatorDef):
+    """Mean + variance + normalize + affine: ~8 FLOP per element."""
+
+    op_class = OpClass.NORMALIZATION
+
+    def flop(self, op: OpView) -> float:
+        return 8.0 * op.out_info().numel
+
+
+@_register("Softmax", "LogSoftmax")
+class _SoftmaxDef(OperatorDef):
+    """max, subtract, exp, sum, divide: ~ (1+1+8+1+4) FLOP per element."""
+
+    op_class = OpClass.SOFTMAX
+
+    def flop(self, op: OpView) -> float:
+        return 15.0 * op.out_info().numel
+
+
+# ---------------------------------------------------------------------------
+# reductions / pooling
+# ---------------------------------------------------------------------------
+@_register("GlobalAveragePool", "GlobalMaxPool")
+class _GlobalPoolDef(OperatorDef):
+    op_class = OpClass.REDUCTION
+
+    def flop(self, op: OpView) -> float:
+        return float(op.in_info(0).numel)
+
+
+@_register("MaxPool", "AveragePool", "LpPool")
+class _PoolDef(OperatorDef):
+    op_class = OpClass.REDUCTION
+
+    def flop(self, op: OpView) -> float:
+        kernel_elems = math.prod(op.node.ints_attr("kernel_shape") or (1,))
+        return float(op.out_info().numel * kernel_elems)
+
+    def read_bytes(self, op: OpView) -> Dict[str, float]:
+        reads = super().read_bytes(op)
+        kernel = list(op.node.ints_attr("kernel_shape") or [1])
+        strides = list(op.node.ints_attr("strides")) or kernel
+        frac = 1.0
+        for k, s in zip(kernel, strides):
+            if s > k:
+                frac *= k / s
+        x = op.node.inputs[0]
+        reads[x] = reads[x] * frac
+        return reads
+
+
+@_register("ReduceMean", "ReduceSum", "ReduceMax", "ReduceMin", "ReduceProd",
+           "ReduceL2", "ReduceL1", "ReduceSumSquare", "ReduceLogSumExp",
+           "ArgMax", "ArgMin", "TopK")
+class _ReduceDef(OperatorDef):
+    op_class = OpClass.REDUCTION
+
+    def flop(self, op: OpView) -> float:
+        return float(op.in_info(0).numel)
+
+
+# ---------------------------------------------------------------------------
+# data movement
+# ---------------------------------------------------------------------------
+@_register("Transpose", "Concat", "Split", "Slice", "Pad", "Tile", "Expand",
+           "Resize", "DepthToSpace", "SpaceToDepth", "GatherElements",
+           "ScatterND", "OneHot")
+class _DataMovementDef(OperatorDef):
+    """Pure copies: zero useful FLOP, full read + write traffic."""
+
+    op_class = OpClass.DATA_MOVEMENT
+
+
+@_register("Gather")
+class _GatherDef(OperatorDef):
+    """Embedding-style lookup: reads only the selected rows, not the
+    whole table."""
+
+    op_class = OpClass.EMBEDDING
+
+    def classify(self, op: OpView) -> OpClass:
+        return OpClass.EMBEDDING if op.in_info(0).numel > op.out_info().numel \
+            else OpClass.DATA_MOVEMENT
+
+    def read_bytes(self, op: OpView) -> Dict[str, float]:
+        data, indices = op.node.inputs[0], op.node.inputs[1]
+        out = op.out_info()
+        return {
+            data: op.nbytes(op.out_info().with_shape(out.shape)),  # rows read
+            indices: op.nbytes(op.info(indices)),
+        }
+
+
+#: Fallback for op types without a dedicated define: Equation 1 memory,
+#: zero FLOP, elementwise class.
+_DEFAULT = OperatorDef()
+
+
+def gemm_dims(node: Node, info_fn) -> Optional[Tuple[int, int, int, int]]:
+    """(M, N, K, batch) of the GEMM a node lowers to, or ``None``.
+
+    Convolutions map via implicit GEMM (M = N·outH·outW, N = Cout/g,
+    K = Cin/g·kh·kw); used for tile-quantization efficiency and for the
+    counter simulator's hardware-FLOP padding.
+    """
+    op = OpView(node, info_fn)
+    if node.op_type == "Gemm":
+        a, out = op.in_info(0), op.out_info()
+        k = a.shape[0] if node.int_attr("transA", 0) else a.shape[1]
+        return out.shape[0], out.shape[1], k, 1
+    if node.op_type == "MatMul":
+        a, out = op.in_info(0), op.out_info()
+        k = a.shape[-1]
+        m = out.shape[-2] if len(out.shape) >= 2 else 1
+        n = out.shape[-1]
+        batch = math.prod(out.shape[:-2]) if len(out.shape) > 2 else 1
+        return m, n, k, batch
+    if node.op_type in ("Conv", "ConvTranspose"):
+        w, out = op.in_info(1), op.out_info()
+        group = node.int_attr("group", 1)
+        kernel_elems = math.prod(w.shape[2:])
+        m = out.shape[0] * math.prod(out.shape[2:])
+        n = w.shape[0] // group if node.op_type == "Conv" else w.shape[1]
+        k = w.shape[1] * kernel_elems if node.op_type == "Conv" \
+            else (w.shape[0] // group) * kernel_elems
+        return m, n, k, group
+    return None

@@ -1,0 +1,87 @@
+"""ONNX-Runtime-style simulated runtime (``ort-sim``).
+
+Mirrors the ONNX Runtime + oneDNN CPU execution path of the paper's
+Table 2 (Xeon Gold 6330, Raspberry Pi 4B):
+
+* **moderate fusion** — conv + activation and MatMul + bias fuse, but
+  residual adds stay separate layers;
+* **reorder layers** — blocked-layout (NCHWc) conversion copies around
+  the graph boundary, exactly the ``reorder_1`` of the paper's Figure 2
+  mapping example, introducing alias tensors (``t2 -> t2_r``);
+* **generic layer names** — fused layers are reported as
+  ``fused_op_N`` with io tensors only, so layer mapping must call
+  ``get_subgraph_ops_by_io`` to recover the member operators;
+* no-op nodes (Reshape & friends) remain as (almost free) layers — ORT
+  executes them as kernels rather than eliding them.
+"""
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..analysis.arep import AnalyzeRepresentation
+from ..hardware.specs import HardwareSpec
+from ..ir.tensor import DataType
+from .base import BackendLayer, LayerKind
+from .optimizer import FusionConfig, FusionGroup, GroupKind
+from .simruntime import SimulatedRuntime
+
+__all__ = ["OnnxRuntimeSim"]
+
+
+class OnnxRuntimeSim(SimulatedRuntime):
+    """Simulated ONNX Runtime backend."""
+
+    name = "ort-sim"
+
+    def fusion_config(self, spec: HardwareSpec) -> FusionConfig:
+        return FusionConfig.moderate()
+
+    # ------------------------------------------------------------------
+    def build_layers(self, groups: Sequence[FusionGroup],
+                     units: Sequence[object],
+                     arep: AnalyzeRepresentation,
+                     precision: DataType) -> List[BackendLayer]:
+        layers: List[BackendLayer] = []
+        counter = 0
+        aliases = {}
+        # reorder graph inputs into the blocked execution layout
+        for t in arep.graph.inputs:
+            counter += 1
+            reordered = f"{t.name}_r"
+            aliases[t.name] = reordered
+            layers.append(BackendLayer(
+                name=f"reorder_{counter}",
+                kind=LayerKind.REFORMAT,
+                inputs=[t.name],
+                outputs=[reordered],
+                true_alias=(t.name, reordered),
+            ))
+        for group, unit in zip(groups, units):
+            counter += 1
+            inputs, outputs = self._unit_io(unit)
+            inputs = [aliases.get(t, t) for t in inputs]
+            if group.size > 1:
+                name = f"fused_op_{counter}"
+            else:
+                name = f"{group.members[0].op_type}_{counter}"
+            layers.append(BackendLayer(
+                name=name,
+                kind=LayerKind.EXECUTION,
+                inputs=inputs,
+                outputs=list(outputs),
+                exposed_member_names=None,   # io only — see Figure 2
+                true_member_names=[m.name for m in group.members],
+                true_folded_names=list(group.folded),
+            ))
+        # reorder outputs back to the public layout
+        for t in arep.graph.outputs:
+            counter += 1
+            reordered = f"{t.name}_r"
+            layers.append(BackendLayer(
+                name=f"reorder_{counter}",
+                kind=LayerKind.REFORMAT,
+                inputs=[t.name],
+                outputs=[reordered],
+                true_alias=(t.name, reordered),
+            ))
+        return layers

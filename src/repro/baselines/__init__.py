@@ -1,0 +1,31 @@
+"""Baseline profiling tools (the three rows of the paper's Table 1).
+
+PRoof's pitch is defined against three existing tool classes, each of
+which answers only part of the question:
+
+* :class:`FrameworkProfiler` — DL-framework tooling
+  (pytorch-OpCounter-style): theoretical per-model-layer FLOP and
+  latencies of the *unoptimized* execution.  Maps to model design, but
+  does not reflect production (fused-runtime) performance and has no
+  memory/hardware metrics.
+* :class:`RuntimeProfiler` — an inference runtime's built-in profiler:
+  accurate production per-backend-layer latencies, but opaque layer
+  names and no hardware metrics, so no way back to the model design.
+* :class:`KernelProfiler` — a vendor hardware profiler (Nsight-Compute-
+  style): accurate kernel-level hardware metrics, but kernels identified
+  by mangled names with no model mapping, plus heavy replay overhead.
+
+These are real, working implementations over the same simulation
+substrate, so the Table 1 comparison experiment can *quantify* each
+gap (framework-vs-runtime latency, name opacity, overhead) instead of
+just asserting it.
+"""
+from .framework_profiler import FrameworkLayerStat, FrameworkProfiler
+from .runtime_profiler import RuntimeLayerStat, RuntimeProfiler
+from .kernel_profiler import KernelProfiler, KernelStat
+
+__all__ = [
+    "FrameworkLayerStat", "FrameworkProfiler",
+    "RuntimeLayerStat", "RuntimeProfiler",
+    "KernelProfiler", "KernelStat",
+]

@@ -1,0 +1,85 @@
+"""DL-framework profiling baseline (Table 1 row 1).
+
+Mimics PyTorch's built-in profiler plus *pytorch-OpCounter*: per
+model-design layer it reports a latency — measured on the framework's
+**unoptimized, op-at-a-time** execution — and the theoretical FLOP
+count.  Because nothing is fused and every op round-trips its tensors
+through DRAM, framework latency systematically overstates production
+latency; the §ablation experiment quantifies the gap against the
+runtime profile of the same model.
+
+Limitations faithfully reproduced:
+
+* metrics map to model design (good), but reflect framework execution,
+  not an optimized deployment (the paper's "Production performance: ✗");
+* FLOP/s is the only hardware-ish metric; no memory traffic, no
+  roofline position ("Hardware metrics: ✗").
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+from ..analysis.arep import AnalyzeRepresentation
+from ..analysis.opdefs import OpClass
+from ..backends.base import work_item_for_unit
+from ..hardware.latency import LatencySimulator
+from ..hardware.specs import HardwareSpec, platform
+from ..ir.graph import Graph
+from ..ir.tensor import DataType
+
+__all__ = ["FrameworkLayerStat", "FrameworkProfiler"]
+
+#: frameworks dispatch every op through Python + kernel launch; the
+#: per-op overhead is far above a compiled engine's
+_FRAMEWORK_DISPATCH_OVERHEAD = 25e-6
+
+
+@dataclass(frozen=True)
+class FrameworkLayerStat:
+    """What a framework profiler reports for one model layer."""
+
+    name: str
+    op_type: str
+    latency_seconds: float
+    theoretical_flop: float
+
+    @property
+    def achieved_flops(self) -> float:
+        return self.theoretical_flop / self.latency_seconds \
+            if self.latency_seconds > 0 else 0.0
+
+
+class FrameworkProfiler:
+    """Profile a model as the DL framework would run it: one kernel per
+    model op, no fusion, framework dispatch overhead on every op."""
+
+    def __init__(self, spec: Union[HardwareSpec, str],
+                 precision: Union[DataType, str] = DataType.FLOAT32) -> None:
+        self.spec = platform(spec) if isinstance(spec, str) else spec
+        self.precision = DataType.parse(precision) \
+            if isinstance(precision, str) else precision
+        self._sim = LatencySimulator(self.spec)
+
+    def profile(self, graph: Graph) -> List[FrameworkLayerStat]:
+        arep = AnalyzeRepresentation(graph, self.precision)
+        stats: List[FrameworkLayerStat] = []
+        for op in arep.ops:
+            item = work_item_for_unit(op, arep, self.precision, name=op.name)
+            timing = self._sim.time(item)
+            overhead = 0.0 if op.op_class() is OpClass.ZERO_COST \
+                else _FRAMEWORK_DISPATCH_OVERHEAD
+            stats.append(FrameworkLayerStat(
+                name=op.name,
+                op_type=op.op_type,
+                latency_seconds=timing.seconds + overhead,
+                theoretical_flop=item.flop,
+            ))
+        return stats
+
+    def total_latency_seconds(self, graph: Graph) -> float:
+        return sum(s.latency_seconds for s in self.profile(graph))
+
+    def total_flop(self, graph: Graph) -> float:
+        """The pytorch-OpCounter number: theoretical FLOP of the model."""
+        return sum(s.theoretical_flop for s in self.profile(graph))

@@ -1,0 +1,72 @@
+"""Inference-runtime built-in profiler baseline (Table 1 row 2).
+
+What ``trtexec --dumpProfile`` / OpenVINO's ``benchmark_app`` give you:
+accurate per-backend-layer latencies of the *production* engine — and
+nothing else.  Layer names are whatever the runtime exposes (generic
+``fused_op_N``, opaque ``{ForeignNode[...]}``), there are no FLOP or
+memory metrics, and no mapping back to the model design.
+
+:meth:`RuntimeProfiler.mappable_fraction` quantifies the "difficult to
+map back" problem: the share of execution layers whose reported name
+contains a recognizable model-design layer name.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+from ..backends import Backend, backend_by_name
+from ..backends.base import BackendModel
+from ..hardware.specs import HardwareSpec, platform
+from ..ir.graph import Graph
+from ..ir.tensor import DataType
+
+__all__ = ["RuntimeLayerStat", "RuntimeProfiler"]
+
+
+@dataclass(frozen=True)
+class RuntimeLayerStat:
+    """One line of a runtime's profile dump: a name and a time."""
+
+    name: str
+    latency_seconds: float
+
+
+class RuntimeProfiler:
+    """Wraps a backend's built-in profiler output."""
+
+    def __init__(self, backend: Union[Backend, str],
+                 spec: Union[HardwareSpec, str],
+                 precision: Union[DataType, str] = DataType.FLOAT16) -> None:
+        self.backend = backend_by_name(backend) if isinstance(backend, str) \
+            else backend
+        self.spec = platform(spec) if isinstance(spec, str) else spec
+        self.precision = DataType.parse(precision) \
+            if isinstance(precision, str) else precision
+
+    def profile(self, graph: Graph) -> List[RuntimeLayerStat]:
+        model = self.backend.compile(graph, self.spec, self.precision)
+        return [RuntimeLayerStat(l.name, l.latency_seconds)
+                for l in model.layers]
+
+    def total_latency_seconds(self, graph: Graph) -> float:
+        return sum(s.latency_seconds for s in self.profile(graph))
+
+    # ------------------------------------------------------------------
+    def design_coverage(self, graph: Graph) -> float:
+        """Share of model-design layers attributable from the profile
+        dump's layer *names* alone — what a developer can recover
+        without PRoof's graph-search mapping.
+
+        TensorRT's joined names cover conv fusions fully but Myelin's
+        ``{ForeignNode[first...last]}`` names only leak two members per
+        region; ONNX Runtime's ``fused_op_N`` names leak nothing."""
+        model: BackendModel = self.backend.compile(graph, self.spec,
+                                                   self.precision)
+        model_names = {n.name for n in graph.nodes if n.name}
+        covered = set()
+        for layer in model.execution_layers():
+            for name in model_names:
+                if name in layer.name:
+                    covered.add(name)
+        return len(covered) / len(model_names) if model_names else 0.0

@@ -1,0 +1,183 @@
+"""PRoof command-line interface.
+
+Examples::
+
+    proof run --model resnet50 --platform a100 --backend trt-sim \
+              --precision fp16 --batch 128 --svg roofline.svg
+    proof run --model vit-tiny --platform a100 --mode measure
+    proof peak --platform orin-nx
+    proof list
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..backends import BACKENDS, UnsupportedModelError, backend_by_name
+from ..hardware.specs import PLATFORMS, platform
+from ..ir.tensor import DataType
+from ..models.registry import MODEL_ZOO, build_model
+from .dataviewer import format_report, render_roofline_svg
+from .profiler import Profiler
+from .peaktest import measure_peaks
+from .report import MetricSource
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="proof",
+        description="PRoof: hierarchical DNN profiling with roofline "
+                    "analysis (ICPP'24 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="profile a model")
+    run.add_argument("--model", required=True, choices=sorted(MODEL_ZOO))
+    run.add_argument("--platform", default="a100", choices=sorted(PLATFORMS))
+    run.add_argument("--backend", default="trt-sim", choices=sorted(BACKENDS))
+    run.add_argument("--precision", default="fp16",
+                     choices=["fp32", "fp16", "int8"])
+    run.add_argument("--batch", type=int, default=1)
+    run.add_argument("--mode", default="predict",
+                     choices=["predict", "measure"],
+                     help="analytical model vs simulated hardware counters")
+    run.add_argument("--top", type=int, default=20,
+                     help="layers to show in the table (0 = all)")
+    run.add_argument("--json", metavar="PATH",
+                     help="write the full report as JSON")
+    run.add_argument("--svg", metavar="PATH",
+                     help="write the layer-wise roofline chart as SVG")
+    run.add_argument("--html", metavar="PATH",
+                     help="write the full visual report as standalone HTML")
+    run.add_argument("--insights", action="store_true",
+                     help="append automated optimization guidance")
+    run.add_argument("--by-module", type=int, metavar="DEPTH", default=0,
+                     help="append a module-level rollup at this depth")
+
+    peak = sub.add_parser("peak", help="measure achieved roofline peaks")
+    peak.add_argument("--platform", default="a100", choices=sorted(PLATFORMS))
+    peak.add_argument("--precision", default="fp16",
+                      choices=["fp32", "fp16", "int8"])
+    peak.add_argument("--gpu-clock", type=float, default=None,
+                      help="override the compute clock (MHz, Jetson-style)")
+    peak.add_argument("--mem-clock", type=float, default=None,
+                      help="override the memory clock (MHz)")
+
+    swp = sub.add_parser("sweep", help="batch-size sweep for a model")
+    swp.add_argument("--model", required=True, choices=sorted(MODEL_ZOO))
+    swp.add_argument("--platform", default="a100", choices=sorted(PLATFORMS))
+    swp.add_argument("--backend", default="trt-sim", choices=sorted(BACKENDS))
+    swp.add_argument("--precision", default="fp16",
+                     choices=["fp32", "fp16", "int8"])
+    swp.add_argument("--batches", default="1,4,16,64,256",
+                     help="comma-separated batch sizes")
+
+    sub.add_parser("list", help="list models, platforms and backends")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graph = build_model(args.model, batch_size=args.batch)
+    source = MetricSource.PREDICTED if args.mode == "predict" \
+        else MetricSource.MEASURED
+    profiler = Profiler(args.backend, args.platform, args.precision, source)
+    try:
+        report = profiler.profile(graph)
+    except UnsupportedModelError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(report, top=args.top or None))
+    if args.insights:
+        from .insights import analyze, format_insights
+        print()
+        print(format_insights(analyze(report, profiler.roofline())))
+    if args.by_module:
+        from .hierarchy import aggregate, format_modules
+        print()
+        print(f"module rollup (depth {args.by_module}):")
+        print(format_modules(aggregate(report, depth=args.by_module),
+                             total_latency=report.end_to_end.latency_seconds,
+                             top=20))
+    if args.json:
+        report.save(args.json)
+        print(f"\nreport written to {args.json}")
+    if args.svg:
+        svg = render_roofline_svg(
+            profiler.roofline(), profiler.layer_points(report),
+            title=f"{report.model_name} on {report.platform_name} "
+                  f"({report.precision}, bs={report.batch_size})")
+        with open(args.svg, "w", encoding="utf-8") as fh:
+            fh.write(svg)
+        print(f"roofline chart written to {args.svg}")
+    if args.html:
+        from .htmlreport import save_html_report
+        save_html_report(args.html, report, profiler.roofline(),
+                         profiler.layer_points(report))
+        print(f"visual report written to {args.html}")
+    return 0
+
+
+def _cmd_peak(args: argparse.Namespace) -> int:
+    spec = platform(args.platform)
+    if args.gpu_clock or args.mem_clock:
+        spec = spec.scaled(args.gpu_clock, args.mem_clock)
+    result = measure_peaks(spec, precision=args.precision)
+    print(f"platform      : {result.platform_name}")
+    if spec.is_clock_tunable:
+        print(f"clocks        : GPU {result.compute_clock_mhz:.0f} MHz, "
+              f"memory {result.memory_clock_mhz:.0f} MHz")
+    print(f"FLOP/s (T)    : {result.tflops:.3f}")
+    print(f"Memory BW     : {result.bandwidth_gbs:.3f} GB/s")
+    if result.power_watts is not None:
+        print(f"Power (W)     : {result.power_watts:.1f}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sweep import sweep_batch_sizes
+    batches = tuple(int(b) for b in args.batches.split(","))
+    sweep = sweep_batch_sizes(
+        lambda bs: build_model(args.model, batch_size=bs),
+        backend=args.backend, spec=args.platform,
+        precision=args.precision, batch_sizes=batches)
+    print(f"{args.model} on {sweep.platform_name} "
+          f"({args.backend}, {args.precision})")
+    print(f"{'batch':>6s} {'latency(ms)':>12s} {'samples/s':>11s} "
+          f"{'TFLOP/s':>8s} {'GB/s':>7s} {'AI':>7s}")
+    for p in sweep.points:
+        print(f"{p.batch_size:6d} {p.latency_seconds * 1e3:12.3f} "
+              f"{p.throughput_per_second:11.0f} "
+              f"{p.achieved_flops / 1e12:8.3f} "
+              f"{p.achieved_bandwidth / 1e9:7.1f} "
+              f"{p.arithmetic_intensity:7.1f}")
+    best = sweep.best_throughput()
+    print(f"\npeak throughput at bs={best.batch_size}; throughput "
+          f"saturates from bs={sweep.saturation_batch()}")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("models:")
+    for entry in sorted(MODEL_ZOO.values(), key=lambda e: e.row):
+        print(f"  #{entry.row:<3d} {entry.key:22s} ({entry.model_type}) "
+              f"{entry.paper_params_m:.1f} M params")
+    print("\nplatforms:")
+    for name, spec in PLATFORMS.items():
+        print(f"  {name:12s} {spec.scenario:16s} "
+              f"peak fp16 {spec.peak_flops(DataType.FLOAT16) / 1e12:.1f} T, "
+              f"BW {spec.dram_bandwidth / 1e9:.0f} GB/s")
+    print("\nbackends: " + ", ".join(sorted(BACKENDS)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"run": _cmd_run, "peak": _cmd_peak, "list": _cmd_list,
+                "sweep": _cmd_sweep}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

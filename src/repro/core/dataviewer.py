@@ -1,0 +1,239 @@
+"""PRoof data-viewer: human-readable reports and roofline charts.
+
+Renders a :class:`~repro.core.report.ProfileReport` as
+
+* a text report (per-layer table + end-to-end summary) for terminals,
+* a standalone SVG roofline chart (log-log, envelope + points with
+  latency-share opacity and op-class colors, optional extra bandwidth
+  lines for the Figure 8 clock study), and
+* a latency-distribution bar chart along either roofline axis
+  (the side-bars of Figure 6).
+
+No plotting dependencies: the SVG is emitted directly.
+"""
+from __future__ import annotations
+
+import html
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .report import LayerProfile, ProfileReport
+from .roofline import Roofline, RooflinePoint
+
+__all__ = ["format_report", "format_layer_table", "render_roofline_svg",
+           "latency_histogram", "CLASS_COLORS"]
+
+#: op-class → chart color, matching the paper's conventions where it has
+#: them (depthwise conv blue/orange, pointwise/matmul green, conv red,
+#: transpose blue, copies green)
+CLASS_COLORS: Dict[str, str] = {
+    "matmul": "#2e7d32",
+    "conv": "#c62828",
+    "pointwise_conv": "#e53935",
+    "depthwise_conv": "#1565c0",
+    "elementwise": "#6a1b9a",
+    "normalization": "#8e24aa",
+    "softmax": "#ad1457",
+    "reduction": "#5d4037",
+    "data_movement": "#00838f",
+    "embedding": "#f9a825",
+    "zero_cost": "#9e9e9e",
+    "end-to-end": "#000000",
+}
+
+
+def _si(value: float, unit: str) -> str:
+    """Engineering formatting: 1.23 G<unit>."""
+    if value == 0:
+        return f"0 {unit}"
+    exp = min(4, max(0, int(math.log10(abs(value)) // 3)))
+    prefix = ["", "K", "M", "G", "T"][exp]
+    return f"{value / 10 ** (3 * exp):.2f} {prefix}{unit}"
+
+
+def format_layer_table(report: ProfileReport, top: Optional[int] = None) -> str:
+    """Fixed-width per-layer table, ordered by latency."""
+    layers = sorted(report.layers, key=lambda l: -l.latency_seconds)
+    if top is not None:
+        layers = layers[:top]
+    total = report.end_to_end.latency_seconds
+    lines = [
+        f"{'layer':44s} {'class':15s} {'lat(us)':>9s} {'%':>5s} "
+        f"{'GFLOP':>8s} {'MB':>8s} {'AI':>7s} {'TFLOP/s':>8s} {'GB/s':>7s}",
+        "-" * 118,
+    ]
+    for l in layers:
+        share = l.latency_seconds / total * 100 if total > 0 else 0.0
+        lines.append(
+            f"{l.name[:44]:44s} {l.op_class:15s} "
+            f"{l.latency_seconds * 1e6:9.1f} {share:5.1f} "
+            f"{l.flop / 1e9:8.3f} {l.memory_bytes / 1e6:8.2f} "
+            f"{l.arithmetic_intensity:7.1f} "
+            f"{l.achieved_flops / 1e12:8.3f} "
+            f"{l.achieved_bandwidth / 1e9:7.1f}")
+    return "\n".join(lines)
+
+
+def format_report(report: ProfileReport, top: Optional[int] = 20) -> str:
+    """Full text report: header, end-to-end summary, layer table."""
+    e = report.end_to_end
+    head = [
+        f"PRoof report: {report.model_name} on {report.platform_name} "
+        f"({report.backend_name}, {report.precision}, bs={report.batch_size}, "
+        f"metrics={report.metric_source})",
+        "=" * 100,
+        f"end-to-end   : {e.latency_seconds * 1e3:.3f} ms "
+        f"({e.throughput_per_second:.0f} samples/s)",
+        f"total FLOP   : {_si(e.flop, 'FLOP')}   "
+        f"memory: {_si(e.memory_bytes, 'B')}   AI: {e.arithmetic_intensity:.2f}",
+        f"achieved     : {_si(e.achieved_flops, 'FLOP/s')} "
+        f"({e.achieved_flops / report.peak_flops * 100:.1f}% of peak "
+        f"{_si(report.peak_flops, 'FLOP/s')}), "
+        f"{_si(e.achieved_bandwidth, 'B/s')} "
+        f"({e.achieved_bandwidth / report.peak_bandwidth * 100:.1f}% of "
+        f"{_si(report.peak_bandwidth, 'B/s')})",
+    ]
+    if report.profiling_overhead_seconds:
+        head.append(
+            f"profiling    : {report.profiling_overhead_seconds:.0f} s "
+            "counter-collection overhead (measured mode)")
+    shares = sorted(report.latency_share_by_class().items(),
+                    key=lambda kv: -kv[1])
+    head.append("latency share: " + ", ".join(
+        f"{k} {v * 100:.1f}%" for k, v in shares))
+    head.append("")
+    head.append(format_layer_table(report, top))
+    return "\n".join(head)
+
+
+def latency_histogram(layers: Sequence[LayerProfile], axis: str = "intensity",
+                      bins: int = 12) -> List[Tuple[float, float, float]]:
+    """Latency distribution along a roofline axis (Figure 6 side bars).
+
+    Returns (bin_left, bin_right, latency_seconds) in log space over
+    either ``intensity`` (AI) or ``flops`` (achieved FLOP/s).
+    """
+    if axis not in ("intensity", "flops"):
+        raise ValueError("axis must be 'intensity' or 'flops'")
+    values = []
+    for l in layers:
+        v = l.arithmetic_intensity if axis == "intensity" else l.achieved_flops
+        if v > 0:
+            values.append((v, l.latency_seconds))
+    if not values:
+        return []
+    lo = math.log10(min(v for v, _ in values))
+    hi = math.log10(max(v for v, _ in values))
+    if hi <= lo:
+        hi = lo + 1.0
+    width = (hi - lo) / bins
+    out = []
+    for i in range(bins):
+        left, right = lo + i * width, lo + (i + 1) * width
+        mass = sum(t for v, t in values
+                   if left <= math.log10(v) < right
+                   or (i == bins - 1 and math.log10(v) == right))
+        out.append((10 ** left, 10 ** right, mass))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# SVG chart
+# ---------------------------------------------------------------------------
+def render_roofline_svg(
+    roofline: Roofline,
+    points: Sequence[RooflinePoint],
+    title: str = "",
+    extra_bandwidths: Sequence[Tuple[str, float]] = (),
+    width: int = 720,
+    height: int = 480,
+) -> str:
+    """Standalone SVG of a roofline chart.
+
+    ``extra_bandwidths`` draws additional memory-roof lines (label, B/s)
+    — the Figure 8 memory-clock alternatives.
+    """
+    margin = 60
+    plot_w, plot_h = width - 2 * margin, height - 2 * margin
+    ais = [p.arithmetic_intensity for p in points if p.arithmetic_intensity > 0]
+    flops = [p.achieved_flops for p in points if p.achieved_flops > 0]
+    ai_lo = min([0.1] + ais) / 2
+    ai_hi = max([roofline.ridge_intensity * 8] + ais) * 2
+    f_hi = roofline.peak_flops * 2
+    f_lo = min([roofline.peak_flops / 1e5] + flops) / 2
+
+    def sx(ai: float) -> float:
+        return margin + (math.log10(ai) - math.log10(ai_lo)) \
+            / (math.log10(ai_hi) - math.log10(ai_lo)) * plot_w
+
+    def sy(f: float) -> float:
+        return height - margin - (math.log10(f) - math.log10(f_lo)) \
+            / (math.log10(f_hi) - math.log10(f_lo)) * plot_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="24" text-anchor="middle" '
+        f'font-size="15" font-family="sans-serif">{html.escape(title)}</text>',
+    ]
+    # axes
+    parts.append(
+        f'<rect x="{margin}" y="{margin}" width="{plot_w}" height="{plot_h}" '
+        'fill="none" stroke="#444"/>')
+    # decade gridlines + labels
+    for d in range(int(math.ceil(math.log10(ai_lo))), int(math.log10(ai_hi)) + 1):
+        x = sx(10 ** d)
+        parts.append(f'<line x1="{x:.1f}" y1="{margin}" x2="{x:.1f}" '
+                     f'y2="{height - margin}" stroke="#ddd"/>')
+        parts.append(f'<text x="{x:.1f}" y="{height - margin + 16}" '
+                     f'text-anchor="middle" font-size="10" '
+                     f'font-family="sans-serif">1e{d}</text>')
+    for d in range(int(math.ceil(math.log10(f_lo))), int(math.log10(f_hi)) + 1):
+        y = sy(10 ** d)
+        parts.append(f'<line x1="{margin}" y1="{y:.1f}" x2="{width - margin}" '
+                     f'y2="{y:.1f}" stroke="#ddd"/>')
+        parts.append(f'<text x="{margin - 6}" y="{y + 3:.1f}" '
+                     f'text-anchor="end" font-size="10" '
+                     f'font-family="sans-serif">1e{d}</text>')
+    parts.append(f'<text x="{width / 2}" y="{height - 12}" text-anchor="middle" '
+                 'font-size="12" font-family="sans-serif">'
+                 'Arithmetic intensity (FLOP/byte)</text>')
+    parts.append(f'<text x="16" y="{height / 2}" text-anchor="middle" '
+                 f'font-size="12" font-family="sans-serif" '
+                 f'transform="rotate(-90 16 {height / 2})">FLOP/s</text>')
+
+    def roof_path(bw: float, color: str, dash: str = "") -> None:
+        ridge = roofline.peak_flops / bw
+        x0, y0 = sx(ai_lo), sy(ai_lo * bw)
+        xr, yr = sx(ridge), sy(roofline.peak_flops)
+        x1 = sx(ai_hi)
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        parts.append(
+            f'<polyline points="{x0:.1f},{y0:.1f} {xr:.1f},{yr:.1f} '
+            f'{x1:.1f},{yr:.1f}" fill="none" stroke="{color}" '
+            f'stroke-width="2"{dash_attr}/>')
+
+    roof_path(roofline.peak_bandwidth, "#333")
+    for i, (label, bw) in enumerate(extra_bandwidths):
+        color = ["#f9a825", "#c62828", "#00838f"][i % 3]
+        roof_path(bw, color, dash="6,4")
+        parts.append(
+            f'<text x="{sx(ai_lo * 2):.1f}" y="{sy(ai_lo * 2 * bw) - 6:.1f}" '
+            f'font-size="10" fill="{color}" font-family="sans-serif">'
+            f'{html.escape(label)}</text>')
+    # points
+    for p in points:
+        if p.arithmetic_intensity <= 0 or p.achieved_flops <= 0:
+            continue
+        color = CLASS_COLORS.get(p.tag, "#1565c0")
+        opacity = 0.25 + 0.75 * min(1.0, p.weight * 8)
+        parts.append(
+            f'<circle cx="{sx(p.arithmetic_intensity):.1f}" '
+            f'cy="{sy(p.achieved_flops):.1f}" r="5" fill="{color}" '
+            f'fill-opacity="{opacity:.2f}">'
+            f'<title>{html.escape(p.name)}: AI='
+            f'{p.arithmetic_intensity:.1f}, '
+            f'{p.achieved_flops / 1e12:.3f} TFLOP/s</title></circle>')
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,138 @@
+"""Profile diffing: compare two PRoof runs.
+
+The §4.5 workflow is inherently comparative — profile the original,
+change the design, profile again, confirm where the time went.  This
+module structures that comparison:
+
+* end-to-end deltas (latency, throughput, FLOP, traffic, speedup),
+* per-op-class latency deltas (the "transpose share collapsed" view),
+* per-module deltas when both models share a module naming scheme.
+
+The two reports may come from different models (original vs modified),
+different precisions, different platforms, or different clock settings
+— anything with a :class:`~repro.core.report.ProfileReport`.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .hierarchy import aggregate
+from .report import ProfileReport
+
+__all__ = ["ClassDelta", "ModuleDelta", "ReportDiff", "diff_reports",
+           "format_diff"]
+
+
+@dataclass(frozen=True)
+class ClassDelta:
+    op_class: str
+    before_seconds: float
+    after_seconds: float
+
+    @property
+    def delta_seconds(self) -> float:
+        return self.after_seconds - self.before_seconds
+
+
+@dataclass(frozen=True)
+class ModuleDelta:
+    path: str
+    before_seconds: float
+    after_seconds: float
+
+    @property
+    def delta_seconds(self) -> float:
+        return self.after_seconds - self.before_seconds
+
+
+@dataclass
+class ReportDiff:
+    before: ProfileReport
+    after: ProfileReport
+    class_deltas: List[ClassDelta] = field(default_factory=list)
+    module_deltas: List[ModuleDelta] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        a = self.after.end_to_end.latency_seconds
+        return self.before.end_to_end.latency_seconds / a if a > 0 else 0.0
+
+    @property
+    def flop_ratio(self) -> float:
+        b = self.before.end_to_end.flop
+        return self.after.end_to_end.flop / b if b > 0 else 0.0
+
+    @property
+    def traffic_ratio(self) -> float:
+        b = self.before.end_to_end.memory_bytes
+        return self.after.end_to_end.memory_bytes / b if b > 0 else 0.0
+
+    def biggest_win(self) -> Optional[ClassDelta]:
+        """The op class that lost the most latency (negative delta)."""
+        losses = [d for d in self.class_deltas if d.delta_seconds < 0]
+        return min(losses, key=lambda d: d.delta_seconds) if losses else None
+
+    def biggest_regression(self) -> Optional[ClassDelta]:
+        gains = [d for d in self.class_deltas if d.delta_seconds > 0]
+        return max(gains, key=lambda d: d.delta_seconds) if gains else None
+
+
+def _class_seconds(report: ProfileReport) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for l in report.layers:
+        out[l.op_class] = out.get(l.op_class, 0.0) + l.latency_seconds
+    return out
+
+
+def diff_reports(before: ProfileReport, after: ProfileReport,
+                 module_depth: int = 1) -> ReportDiff:
+    """Build the structured comparison of two runs."""
+    diff = ReportDiff(before=before, after=after)
+    b_cls, a_cls = _class_seconds(before), _class_seconds(after)
+    for klass in sorted(set(b_cls) | set(a_cls)):
+        diff.class_deltas.append(ClassDelta(
+            op_class=klass,
+            before_seconds=b_cls.get(klass, 0.0),
+            after_seconds=a_cls.get(klass, 0.0)))
+    diff.class_deltas.sort(key=lambda d: d.delta_seconds)
+    b_mod = {m.path: m.latency_seconds
+             for m in aggregate(before, module_depth)}
+    a_mod = {m.path: m.latency_seconds
+             for m in aggregate(after, module_depth)}
+    for path in sorted(set(b_mod) | set(a_mod)):
+        diff.module_deltas.append(ModuleDelta(
+            path=path,
+            before_seconds=b_mod.get(path, 0.0),
+            after_seconds=a_mod.get(path, 0.0)))
+    diff.module_deltas.sort(key=lambda d: d.delta_seconds)
+    return diff
+
+
+def format_diff(diff: ReportDiff, top_modules: int = 10) -> str:
+    b, a = diff.before.end_to_end, diff.after.end_to_end
+    lines = [
+        f"diff: {diff.before.model_name} -> {diff.after.model_name} "
+        f"on {diff.after.platform_name}",
+        f"latency   : {b.latency_seconds * 1e3:9.3f} ms -> "
+        f"{a.latency_seconds * 1e3:9.3f} ms  ({diff.speedup:.2f}x)",
+        f"FLOP      : {b.flop / 1e9:9.1f} G  -> {a.flop / 1e9:9.1f} G  "
+        f"({diff.flop_ratio:.2f}x)",
+        f"traffic   : {b.memory_bytes / 1e6:9.1f} MB -> "
+        f"{a.memory_bytes / 1e6:9.1f} MB ({diff.traffic_ratio:.2f}x)",
+        "",
+        f"{'op class':18s} {'before(us)':>11s} {'after(us)':>11s} "
+        f"{'delta(us)':>11s}",
+    ]
+    for d in diff.class_deltas:
+        lines.append(f"{d.op_class:18s} {d.before_seconds * 1e6:11.1f} "
+                     f"{d.after_seconds * 1e6:11.1f} "
+                     f"{d.delta_seconds * 1e6:+11.1f}")
+    lines.append("")
+    lines.append(f"{'module':24s} {'before(us)':>11s} {'after(us)':>11s} "
+                 f"{'delta(us)':>11s}")
+    for d in diff.module_deltas[:top_modules]:
+        lines.append(f"{d.path[:24]:24s} {d.before_seconds * 1e6:11.1f} "
+                     f"{d.after_seconds * 1e6:11.1f} "
+                     f"{d.delta_seconds * 1e6:+11.1f}")
+    return "\n".join(lines)

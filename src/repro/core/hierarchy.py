@@ -1,0 +1,109 @@
+"""Hierarchical aggregation: roll profiles up the module tree.
+
+Model-design layer names are hierarchical paths ("layer1.0/conv2",
+"blocks.3/attn/qkv/MatMul"), so a backend-layer profile can be rolled
+up to any module depth — the *layer* level of the paper's
+kernel/operator/layer hierarchy.  A backend layer that fuses operators
+from several modules splits its latency across them proportionally to
+the member count (fusions almost always stay within one block, so the
+split is rarely exercised).
+
+``aggregate(report, depth=1)`` answers "which stage is slow";
+``aggregate(report, depth=2)`` answers "which block inside it".
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .report import LayerProfile, ProfileReport
+
+__all__ = ["ModuleProfile", "aggregate", "format_modules"]
+
+#: bucket for runtime-inserted layers with no model-design members
+RUNTIME_BUCKET = "(runtime)"
+
+
+@dataclass
+class ModuleProfile:
+    """Aggregated metrics of one module subtree."""
+
+    path: str
+    latency_seconds: float = 0.0
+    flop: float = 0.0
+    memory_bytes: float = 0.0
+    model_layer_count: int = 0
+    backend_layer_count: int = 0
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        return self.flop / self.memory_bytes if self.memory_bytes > 0 else 0.0
+
+    @property
+    def achieved_flops(self) -> float:
+        return self.flop / self.latency_seconds \
+            if self.latency_seconds > 0 else 0.0
+
+
+def _prefix(member: str, depth: int) -> str:
+    parts = member.split("/")
+    return "/".join(parts[:depth]) if parts else member
+
+
+def aggregate(report: ProfileReport, depth: int = 1) -> List[ModuleProfile]:
+    """Roll the per-backend-layer profile up to module prefixes of the
+    given depth, ordered by latency."""
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    modules: Dict[str, ModuleProfile] = {}
+
+    def bucket(path: str) -> ModuleProfile:
+        if path not in modules:
+            modules[path] = ModuleProfile(path=path)
+        return modules[path]
+
+    for layer in report.layers:
+        members = layer.model_layers
+        if not members:
+            mod = bucket(RUNTIME_BUCKET)
+            mod.latency_seconds += layer.latency_seconds
+            mod.flop += layer.flop
+            mod.memory_bytes += layer.memory_bytes
+            mod.backend_layer_count += 1
+            continue
+        shares: Dict[str, int] = {}
+        for m in members:
+            shares[_prefix(m, depth)] = shares.get(_prefix(m, depth), 0) + 1
+        total = sum(shares.values())
+        for path, count in shares.items():
+            frac = count / total
+            mod = bucket(path)
+            mod.latency_seconds += layer.latency_seconds * frac
+            mod.flop += layer.flop * frac
+            mod.memory_bytes += layer.memory_bytes * frac
+            mod.model_layer_count += count
+        # the layer is attributed to its majority module for counting
+        major = max(shares, key=shares.get)
+        bucket(major).backend_layer_count += 1
+    return sorted(modules.values(), key=lambda m: -m.latency_seconds)
+
+
+def format_modules(modules: List[ModuleProfile],
+                   total_latency: Optional[float] = None,
+                   top: Optional[int] = None) -> str:
+    """Fixed-width module rollup table."""
+    total = total_latency or sum(m.latency_seconds for m in modules)
+    rows = modules[:top] if top else modules
+    lines = [
+        f"{'module':32s} {'lat(us)':>10s} {'%':>6s} {'GFLOP':>9s} "
+        f"{'MB':>9s} {'AI':>7s} {'TFLOP/s':>8s} {'layers':>7s}",
+        "-" * 96,
+    ]
+    for m in rows:
+        share = m.latency_seconds / total * 100 if total else 0.0
+        lines.append(
+            f"{m.path[:32]:32s} {m.latency_seconds * 1e6:10.1f} "
+            f"{share:6.1f} {m.flop / 1e9:9.3f} {m.memory_bytes / 1e6:9.2f} "
+            f"{m.arithmetic_intensity:7.1f} "
+            f"{m.achieved_flops / 1e12:8.3f} {m.model_layer_count:7d}")
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Standalone HTML visual report — the PRoof data-viewer's main output.
+
+``render_html_report`` bundles everything a profiling run produced into
+one self-contained HTML file: the end-to-end summary cards, the
+layer-wise roofline chart (inline SVG with hover titles), the
+latency-share breakdown per op class, and a sortable-ish per-layer
+table with the model-design layers each backend layer executes.
+
+No external assets or scripts are required; the file opens offline.
+"""
+from __future__ import annotations
+
+import html
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .dataviewer import CLASS_COLORS, render_roofline_svg
+from .report import ProfileReport
+from .roofline import Roofline, RooflinePoint
+
+__all__ = ["render_html_report", "save_html_report"]
+
+_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 76rem;
+       color: #1a1a1a; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+.cards { display: flex; gap: 1rem; flex-wrap: wrap; }
+.card { border: 1px solid #ddd; border-radius: 8px; padding: .8rem 1.2rem;
+        min-width: 10rem; }
+.card .value { font-size: 1.3rem; font-weight: 600; }
+.card .label { font-size: .8rem; color: #666; }
+table { border-collapse: collapse; width: 100%; font-size: .82rem; }
+th, td { border-bottom: 1px solid #eee; padding: .3rem .5rem;
+         text-align: right; white-space: nowrap; }
+th { background: #fafafa; position: sticky; top: 0; }
+td.name, th.name { text-align: left; max-width: 24rem; overflow: hidden;
+                   text-overflow: ellipsis; }
+.swatch { display: inline-block; width: .7rem; height: .7rem;
+          border-radius: 2px; margin-right: .35rem; vertical-align: -1px; }
+.bar { background: #e8eef7; height: .8rem; border-radius: 3px;
+       overflow: hidden; }
+.bar > div { background: #4473c5; height: 100%; }
+.footnote { color: #888; font-size: .75rem; margin-top: 2rem; }
+"""
+
+
+def _card(label: str, value: str) -> str:
+    return (f'<div class="card"><div class="value">{html.escape(value)}'
+            f'</div><div class="label">{html.escape(label)}</div></div>')
+
+
+def _si(value: float, unit: str) -> str:
+    for factor, prefix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= factor:
+            return f"{value / factor:.2f} {prefix}{unit}"
+    return f"{value:.2f} {unit}"
+
+
+def _class_breakdown(report: ProfileReport) -> str:
+    rows = []
+    shares = sorted(report.latency_share_by_class().items(),
+                    key=lambda kv: -kv[1])
+    for klass, share in shares:
+        color = CLASS_COLORS.get(klass, "#888")
+        rows.append(
+            "<tr>"
+            f'<td class="name"><span class="swatch" '
+            f'style="background:{color}"></span>{html.escape(klass)}</td>'
+            f"<td>{share * 100:.1f}%</td>"
+            f'<td style="width:45%"><div class="bar">'
+            f'<div style="width:{share * 100:.1f}%"></div></div></td>'
+            "</tr>")
+    return ("<table><tr><th class='name'>op class</th><th>latency share"
+            "</th><th></th></tr>" + "".join(rows) + "</table>")
+
+
+def _layer_table(report: ProfileReport, top: Optional[int]) -> str:
+    layers = sorted(report.layers, key=lambda l: -l.latency_seconds)
+    if top:
+        layers = layers[:top]
+    total = report.end_to_end.latency_seconds or 1.0
+    rows = []
+    for l in layers:
+        color = CLASS_COLORS.get(l.op_class, "#888")
+        members = ", ".join(l.model_layers[:6])
+        if len(l.model_layers) > 6:
+            members += f", … (+{len(l.model_layers) - 6})"
+        rows.append(
+            "<tr>"
+            f'<td class="name" title="{html.escape(l.name)}">'
+            f'<span class="swatch" style="background:{color}"></span>'
+            f"{html.escape(l.name[:60])}</td>"
+            f"<td>{l.latency_seconds * 1e6:.1f}</td>"
+            f"<td>{l.latency_seconds / total * 100:.1f}%</td>"
+            f"<td>{l.flop / 1e9:.3f}</td>"
+            f"<td>{l.memory_bytes / 1e6:.2f}</td>"
+            f"<td>{l.arithmetic_intensity:.1f}</td>"
+            f"<td>{l.achieved_flops / 1e12:.3f}</td>"
+            f"<td>{l.achieved_bandwidth / 1e9:.1f}</td>"
+            f'<td class="name" title="{html.escape(", ".join(l.model_layers))}">'
+            f"{html.escape(members)}</td>"
+            "</tr>")
+    header = ("<tr><th class='name'>backend layer</th><th>lat (µs)</th>"
+              "<th>%</th><th>GFLOP</th><th>MB</th><th>AI</th>"
+              "<th>TFLOP/s</th><th>GB/s</th>"
+              "<th class='name'>model-design layers</th></tr>")
+    return f"<table>{header}{''.join(rows)}</table>"
+
+
+def render_html_report(report: ProfileReport, roofline: Roofline,
+                       points: Sequence[RooflinePoint],
+                       top_layers: Optional[int] = 40,
+                       extra_bandwidths: Sequence[Tuple[str, float]] = ()
+                       ) -> str:
+    """Render a complete profiling run as a standalone HTML page."""
+    e = report.end_to_end
+    title = (f"PRoof report — {report.model_name} on {report.platform_name} "
+             f"({report.backend_name}, {report.precision}, "
+             f"bs={report.batch_size})")
+    svg = render_roofline_svg(
+        roofline, points,
+        title=f"layer-wise roofline ({report.metric_source} metrics)",
+        extra_bandwidths=extra_bandwidths)
+    cards = "".join([
+        _card("end-to-end latency", f"{e.latency_seconds * 1e3:.3f} ms"),
+        _card("throughput", f"{e.throughput_per_second:,.0f} samples/s"),
+        _card("achieved", _si(e.achieved_flops, "FLOP/s")),
+        _card("of peak",
+              f"{e.achieved_flops / report.peak_flops * 100:.1f}%"),
+        _card("memory traffic", _si(e.memory_bytes, "B")),
+        _card("arithmetic intensity", f"{e.arithmetic_intensity:.1f}"),
+    ])
+    overhead = ""
+    if report.profiling_overhead_seconds:
+        overhead = (f"<p>hardware-counter collection overhead: "
+                    f"{report.profiling_overhead_seconds:.0f} s "
+                    f"(measured mode)</p>")
+    return f"""<!doctype html>
+<html><head><meta charset="utf-8"><title>{html.escape(title)}</title>
+<style>{_CSS}</style></head><body>
+<h1>{html.escape(title)}</h1>
+<div class="cards">{cards}</div>
+{overhead}
+<h2>Layer-wise roofline</h2>
+{svg}
+<h2>Latency by operator class</h2>
+{_class_breakdown(report)}
+<h2>Backend layers{f" (top {top_layers})" if top_layers else ""}</h2>
+{_layer_table(report, top_layers)}
+<p class="footnote">generated by the PRoof reproduction —
+metric source: {html.escape(report.metric_source)};
+roofline ceilings: {_si(report.peak_flops, "FLOP/s")},
+{_si(report.peak_bandwidth, "B/s")}.</p>
+</body></html>"""
+
+
+def save_html_report(path: str, report: ProfileReport, roofline: Roofline,
+                     points: Sequence[RooflinePoint], **kwargs) -> str:
+    """Write the HTML report to ``path`` and return the path."""
+    content = render_html_report(report, roofline, points, **kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content)
+    return path

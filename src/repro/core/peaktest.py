@@ -1,0 +1,79 @@
+"""Achieved-roofline peak measurement (paper Table 6).
+
+Runs the assembled pseudo model (MatMuls + memory copies of different
+sizes, :mod:`repro.models.peaktest_model`) through a backend on a
+platform and reports the best attained FLOP/s and memory bandwidth —
+the *achieved* ceilings the paper uses as its roofline baselines when
+tuning clocks on the Jetson Orin NX.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from ..backends import Backend, TensorRTSim, backend_by_name
+from ..hardware.power import CpuCluster, PowerModel, PowerReading
+from ..hardware.specs import HardwareSpec, platform
+from ..ir.tensor import DataType
+from ..models.peaktest_model import peak_test_model
+from .profiler import Profiler
+
+__all__ = ["PeakResult", "measure_peaks"]
+
+
+@dataclass(frozen=True)
+class PeakResult:
+    """Achieved ceilings on one platform at its current clocks."""
+
+    platform_name: str
+    compute_clock_mhz: float
+    memory_clock_mhz: float
+    achieved_flops: float
+    achieved_bandwidth: float
+    power_watts: Optional[float] = None
+
+    @property
+    def tflops(self) -> float:
+        return self.achieved_flops / 1e12
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        return self.achieved_bandwidth / 1e9
+
+
+def measure_peaks(
+    spec: Union[HardwareSpec, str],
+    backend: Union[Backend, str, None] = None,
+    precision: Union[DataType, str] = DataType.FLOAT16,
+    cpu_clusters: Sequence[CpuCluster] = (CpuCluster(729.0), CpuCluster(0.0)),
+) -> PeakResult:
+    """Run the peak probe and read off the best per-layer rates.
+
+    The best MatMul layer's achieved FLOP/s is the compute ceiling; the
+    best copy layer's achieved bandwidth is the memory ceiling.  On
+    platforms with power coefficients, module power is sampled with the
+    probe's utilization profile (compute and memory phases alternate,
+    so each domain is near-fully utilized during its phase).
+    """
+    spec = platform(spec) if isinstance(spec, str) else spec
+    backend = backend or TensorRTSim()
+    if isinstance(backend, str):
+        backend = backend_by_name(backend)
+    profiler = Profiler(backend, spec, precision)
+    report = profiler.profile(peak_test_model())
+    best_flops = max((l.achieved_flops for l in report.layers), default=0.0)
+    best_bw = max((l.achieved_bandwidth for l in report.layers), default=0.0)
+    power = None
+    if spec.power_per_compute_mhz > 0:
+        model = PowerModel(spec)
+        # domain busy fractions over the probe's own layer profile
+        u_c, u_m = model.busy_fractions(report)
+        power = model.power(u_c, u_m, cpu_clusters).watts
+    return PeakResult(
+        platform_name=spec.name,
+        compute_clock_mhz=spec.compute_clock_mhz,
+        memory_clock_mhz=spec.memory_clock_mhz,
+        achieved_flops=best_flops,
+        achieved_bandwidth=best_bw,
+        power_watts=power,
+    )

@@ -1,0 +1,179 @@
+"""The PRoof profiler: the framework's main driver (paper Figure 1).
+
+``Profiler.profile`` runs the full backend workflow:
+
+1. compile the model with the chosen backend (simulated runtime) and
+   read per-backend-layer latencies from its built-in profiler;
+2. build the Analyze Representation and run **layer mapping** to
+   transform an Optimized Analyze Representation into the backend's
+   fused layer structure (§3.3, Figure 2);
+3. attach per-layer FLOP and memory bytes — either **predicted** by the
+   analytical model (§3.2, Equation 1) or **measured** through the
+   simulated hardware-counter profiler (§4.2), whose replay overhead is
+   accounted in ``profiling_overhead_seconds``;
+4. aggregate the end-to-end roofline point and return a
+   :class:`~repro.core.report.ProfileReport`.
+"""
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..analysis.arep import AnalyzedOp, AnalyzeRepresentation
+from ..analysis.oarep import OptimizedAnalyzeRepresentation
+from ..analysis.opdefs import OpClass
+from ..backends import Backend, backend_by_name, map_layers
+from ..backends.base import BackendModel
+from ..backends.mapping import MappedLayer, ReformatUnit
+from ..hardware.counters import CounterProfiler
+from ..hardware.specs import HardwareSpec, platform
+from ..ir.graph import Graph
+from ..ir.shape_inference import infer_shapes
+from ..ir.tensor import DataType
+from .report import EndToEnd, LayerProfile, MetricSource, ProfileReport
+from .roofline import Roofline, RooflinePoint, roofline_for
+
+__all__ = ["Profiler", "profile_model"]
+
+
+class Profiler:
+    """Configured PRoof instance: backend + platform + precision + mode."""
+
+    def __init__(
+        self,
+        backend: Union[Backend, str],
+        spec: Union[HardwareSpec, str],
+        precision: Union[DataType, str] = DataType.FLOAT16,
+        metric_source: str = MetricSource.PREDICTED,
+        counter_profiler: Optional[CounterProfiler] = None,
+    ) -> None:
+        self.backend = backend_by_name(backend) if isinstance(backend, str) \
+            else backend
+        self.spec = platform(spec) if isinstance(spec, str) else spec
+        self.precision = DataType.parse(precision) \
+            if isinstance(precision, str) else precision
+        if metric_source not in (MetricSource.PREDICTED, MetricSource.MEASURED):
+            raise ValueError(f"unknown metric source {metric_source!r}")
+        self.metric_source = metric_source
+        self.counters = counter_profiler or CounterProfiler(self.spec)
+
+    # ------------------------------------------------------------------
+    def profile(self, graph: Graph) -> ProfileReport:
+        """Run the full workflow on a model graph."""
+        if not graph.value_info:
+            infer_shapes(graph)
+        compiled = self.backend.compile(graph, self.spec, self.precision)
+        arep = AnalyzeRepresentation(graph, self.precision)
+        oar = OptimizedAnalyzeRepresentation(arep)
+        mapped = map_layers(compiled, oar)
+        layers = [self._layer_profile(m, arep) for m in mapped]
+        overhead = 0.0
+        if self.metric_source == MetricSource.MEASURED:
+            measurements = self._measurements(mapped, arep)
+            for lp, meas in zip(layers, measurements):
+                if meas is not None:
+                    lp.flop = meas.hardware_flop
+                    total = lp.read_bytes + lp.write_bytes
+                    ratio = meas.memory_bytes / total if total > 0 else 0.0
+                    lp.read_bytes *= ratio
+                    lp.write_bytes *= ratio
+            overhead = self.counters.profiling_seconds(
+                [m for m in measurements if m is not None],
+                [lp.latency_seconds for lp, m in zip(layers, measurements)
+                 if m is not None])
+        batch = graph.inputs[0].shape[0] if graph.inputs and graph.inputs[0].shape else 1
+        e2e = EndToEnd(
+            latency_seconds=sum(l.latency_seconds for l in layers),
+            flop=sum(l.flop for l in layers),
+            memory_bytes=sum(l.memory_bytes for l in layers),
+            batch_size=batch,
+        )
+        roof = self.roofline()
+        return ProfileReport(
+            model_name=graph.name,
+            backend_name=compiled.backend_name,
+            platform_name=self.spec.name,
+            precision=self.precision.value,
+            batch_size=batch,
+            metric_source=self.metric_source,
+            layers=layers,
+            end_to_end=e2e,
+            peak_flops=roof.peak_flops,
+            peak_bandwidth=roof.peak_bandwidth,
+            profiling_overhead_seconds=overhead,
+        )
+
+    # ------------------------------------------------------------------
+    def roofline(self) -> Roofline:
+        return roofline_for(self.spec, self.precision)
+
+    def _layer_profile(self, m: MappedLayer,
+                       arep: AnalyzeRepresentation) -> LayerProfile:
+        cost = m.unit.cost(self.precision)  # type: ignore[attr-defined]
+        folded = []
+        if hasattr(m.unit, "folded"):
+            folded = sorted(m.unit.folded)  # type: ignore[attr-defined]
+        return LayerProfile(
+            name=m.layer.name,
+            kind=m.layer.kind,
+            op_class=m.unit.op_class().value,  # type: ignore[attr-defined]
+            latency_seconds=m.layer.latency_seconds,
+            flop=cost.flop,
+            read_bytes=cost.read_bytes,
+            write_bytes=cost.write_bytes,
+            model_layers=m.member_names,
+            folded_layers=folded,
+        )
+
+    def _measurements(self, mapped, arep):
+        out = []
+        for m in mapped:
+            if isinstance(m.unit, ReformatUnit):
+                cost = m.unit.cost(self.precision)
+                out.append(self.counters.measure(
+                    m.layer.name, [], arep.tensor, cost.memory_bytes,
+                    OpClass.DATA_MOVEMENT, self.precision))
+                continue
+            cost = m.unit.cost(self.precision)
+            folded = getattr(m.unit, "folded", set())
+            out.append(self.counters.measure(
+                m.layer.name, m.unit.member_nodes, arep.tensor,
+                cost.memory_bytes, m.unit.op_class(), self.precision,
+                folded=folded))
+        return out
+
+    # ------------------------------------------------------------------
+    # chart helpers
+    # ------------------------------------------------------------------
+    def layer_points(self, report: ProfileReport) -> list:
+        """Layer-wise roofline points weighted by latency share (Fig. 5)."""
+        total = report.end_to_end.latency_seconds
+        pts = []
+        for layer in report.layers:
+            if layer.flop <= 0 and layer.memory_bytes <= 0:
+                continue
+            pts.append(RooflinePoint(
+                name=layer.name,
+                arithmetic_intensity=layer.arithmetic_intensity,
+                achieved_flops=layer.achieved_flops,
+                weight=layer.latency_seconds / total if total > 0 else 0.0,
+                tag=layer.op_class,
+            ))
+        return pts
+
+    def end_to_end_point(self, report: ProfileReport) -> RooflinePoint:
+        """The whole model as one roofline point (Figure 4)."""
+        return RooflinePoint(
+            name=report.model_name,
+            arithmetic_intensity=report.end_to_end.arithmetic_intensity,
+            achieved_flops=report.end_to_end.achieved_flops,
+            weight=1.0,
+            tag="end-to-end",
+        )
+
+
+def profile_model(graph: Graph, backend: Union[Backend, str] = "trt-sim",
+                  spec: Union[HardwareSpec, str] = "a100",
+                  precision: Union[DataType, str] = DataType.FLOAT16,
+                  metric_source: str = MetricSource.PREDICTED) -> ProfileReport:
+    """One-call convenience API: profile a graph and return the report."""
+    return Profiler(backend, spec, precision, metric_source).profile(graph)

@@ -1,0 +1,97 @@
+"""Roofline model math (Williams et al., 2009).
+
+A :class:`Roofline` is the two-ceiling performance envelope of one
+platform at one precision: attainable FLOP/s at a given arithmetic
+intensity is ``min(peak, AI × bandwidth)``.  Helpers classify points,
+compute efficiency against the envelope, and lay out chart-ready series
+for the data-viewer.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..hardware.specs import HardwareSpec
+from ..ir.tensor import DataType
+
+__all__ = ["Roofline", "RooflinePoint", "roofline_for"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One point on a roofline chart (a layer or a whole model)."""
+
+    name: str
+    arithmetic_intensity: float
+    achieved_flops: float
+    #: share of total model latency (chart opacity, Figure 5)
+    weight: float = 1.0
+    #: op-class tag (chart color: depthwise/pointwise conv, MatMul, ...)
+    tag: str = ""
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """Compute-peak and bandwidth ceilings for one platform+precision."""
+
+    name: str
+    peak_flops: float
+    peak_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.peak_bandwidth <= 0:
+            raise ValueError("roofline ceilings must be positive")
+
+    @property
+    def ridge_intensity(self) -> float:
+        """AI at which the memory roof meets the compute roof."""
+        return self.peak_flops / self.peak_bandwidth
+
+    def attainable_flops(self, intensity: float) -> float:
+        """The envelope value at an arithmetic intensity."""
+        if intensity < 0:
+            raise ValueError("arithmetic intensity must be >= 0")
+        return min(self.peak_flops, intensity * self.peak_bandwidth)
+
+    def is_memory_bound(self, intensity: float) -> bool:
+        return intensity < self.ridge_intensity
+
+    def efficiency(self, point: RooflinePoint) -> float:
+        """Achieved FLOP/s over the envelope at the point's intensity."""
+        roof = self.attainable_flops(point.arithmetic_intensity)
+        return point.achieved_flops / roof if roof > 0 else 0.0
+
+    def compute_efficiency(self, point: RooflinePoint) -> float:
+        """Achieved FLOP/s over the flat compute peak (Figure 4's
+        'exceeding half of the peak' reading)."""
+        return point.achieved_flops / self.peak_flops
+
+    # ------------------------------------------------------------------
+    def envelope_series(self, ai_min: float = 2 ** -4, ai_max: float = 2 ** 12,
+                        samples: int = 64) -> List[Tuple[float, float]]:
+        """Log-spaced (AI, attainable FLOP/s) samples for chart drawing."""
+        if ai_min <= 0 or ai_max <= ai_min:
+            raise ValueError("need 0 < ai_min < ai_max")
+        pts = []
+        step = (math.log(ai_max) - math.log(ai_min)) / (samples - 1)
+        for i in range(samples):
+            ai = math.exp(math.log(ai_min) + i * step)
+            pts.append((ai, self.attainable_flops(ai)))
+        return pts
+
+    def with_bandwidth(self, bandwidth: float, name: str = "") -> "Roofline":
+        """A second bandwidth line (the Figure 8 clock-tuning overlays)."""
+        return Roofline(name or f"{self.name}@bw", self.peak_flops, bandwidth)
+
+
+def roofline_for(spec: HardwareSpec, precision: DataType,
+                 achieved: bool = True) -> Roofline:
+    """Build a platform's roofline.
+
+    ``achieved=True`` uses the achievable (stream-limited) bandwidth —
+    what a peak test measures and what the paper draws; ``False`` uses
+    the nominal datasheet bandwidth.
+    """
+    bw = spec.achievable_bandwidth if achieved else spec.dram_bandwidth
+    return Roofline(spec.name, spec.peak_flops(precision), bw)

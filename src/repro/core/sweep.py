@@ -1,0 +1,105 @@
+"""Batch-size sweeps: throughput/latency curves over deployment batch.
+
+The paper reads its Table 5 batch column ("the batch size reached
+maximum throughput for both models") off such a sweep; this utility
+makes that workflow a one-liner and finds the throughput-saturating
+batch programmatically.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..backends import Backend
+from ..hardware.specs import HardwareSpec
+from ..ir.graph import Graph
+from ..ir.tensor import DataType
+from .profiler import Profiler
+from .report import ProfileReport
+
+__all__ = ["SweepPoint", "BatchSweep", "sweep_batch_sizes"]
+
+DEFAULT_BATCHES: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One batch size's end-to-end numbers."""
+
+    batch_size: int
+    latency_seconds: float
+    throughput_per_second: float
+    achieved_flops: float
+    achieved_bandwidth: float
+    arithmetic_intensity: float
+
+
+@dataclass
+class BatchSweep:
+    """The full sweep plus convenience analytics."""
+
+    model_name: str
+    platform_name: str
+    points: List[SweepPoint]
+
+    def best_throughput(self) -> SweepPoint:
+        return max(self.points, key=lambda p: p.throughput_per_second)
+
+    def best_latency(self) -> SweepPoint:
+        return min(self.points, key=lambda p: p.latency_seconds)
+
+    def saturation_batch(self, tolerance: float = 0.05) -> int:
+        """Smallest batch within ``tolerance`` of peak throughput —
+        bigger batches only add latency."""
+        peak = self.best_throughput().throughput_per_second
+        for p in self.points:
+            if p.throughput_per_second >= (1.0 - tolerance) * peak:
+                return p.batch_size
+        return self.points[-1].batch_size
+
+    def speedup_over(self, other: "BatchSweep") -> List[float]:
+        """Per-batch latency ratio vs another sweep (Table 5's Speedup
+        column); sweeps must share batch sizes."""
+        mine = {p.batch_size: p for p in self.points}
+        theirs = {p.batch_size: p for p in other.points}
+        shared = sorted(set(mine) & set(theirs))
+        if not shared:
+            raise ValueError("sweeps share no batch sizes")
+        return [theirs[b].latency_seconds / mine[b].latency_seconds
+                for b in shared]
+
+
+def sweep_batch_sizes(
+    build: Callable[[int], Graph],
+    backend: Union[Backend, str] = "trt-sim",
+    spec: Union[HardwareSpec, str] = "a100",
+    precision: Union[DataType, str] = DataType.FLOAT16,
+    batch_sizes: Sequence[int] = DEFAULT_BATCHES,
+) -> BatchSweep:
+    """Profile ``build(batch)`` across batch sizes.
+
+    ``build`` is a callable like ``lambda bs: build_model("resnet50",
+    batch_size=bs)``; each batch gets a fresh graph and a full PRoof run.
+    """
+    if not batch_sizes:
+        raise ValueError("need at least one batch size")
+    profiler = Profiler(backend, spec, precision)
+    points: List[SweepPoint] = []
+    name = ""
+    for bs in batch_sizes:
+        if bs <= 0:
+            raise ValueError(f"batch sizes must be positive, got {bs}")
+        report: ProfileReport = profiler.profile(build(bs))
+        name = report.model_name
+        e = report.end_to_end
+        points.append(SweepPoint(
+            batch_size=bs,
+            latency_seconds=e.latency_seconds,
+            throughput_per_second=e.throughput_per_second,
+            achieved_flops=e.achieved_flops,
+            achieved_bandwidth=e.achieved_bandwidth,
+            arithmetic_intensity=e.arithmetic_intensity,
+        ))
+    return BatchSweep(model_name=name,
+                      platform_name=profiler.spec.name,
+                      points=points)

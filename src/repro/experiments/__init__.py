@@ -1,0 +1,16 @@
+"""Per-table/figure reproduction drivers (see DESIGN.md §4)."""
+from . import (ablation_fusion, common, fig4_end_to_end, fig5_layerwise,
+               fig6_shufflenet_layerwise, fig7_block_structure,
+               fig8_orin_layerwise,
+               table1_tools, table2_hardware,
+               table3_models, table4_accuracy, table5_shufflenet,
+               table6_peaks, table7_power)
+
+__all__ = [
+    "common", "table1_tools", "table2_hardware", "table3_models",
+    "table4_accuracy", "fig4_end_to_end", "fig5_layerwise",
+    "table5_shufflenet", "fig6_shufflenet_layerwise",
+    "fig7_block_structure", "table6_peaks",
+    "fig8_orin_layerwise",
+    "table7_power", "ablation_fusion",
+]

@@ -1,0 +1,54 @@
+"""Shared experiment infrastructure.
+
+Every experiment module exposes ``run() -> <result>`` and
+``to_markdown(result) -> str``; the :mod:`repro.experiments.runner`
+stitches them into EXPERIMENTS.md.  Results are plain dataclasses so
+benchmarks and tests can assert on them directly.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = ["pct_diff", "ratio_str", "markdown_table", "ExperimentMeta"]
+
+
+@dataclass(frozen=True)
+class ExperimentMeta:
+    """Identity of one paper artifact being reproduced."""
+
+    artifact: str          # e.g. "Table 5"
+    title: str
+    section: str           # paper section
+
+
+def pct_diff(ours: float, reference: float) -> float:
+    """Percentage deviation of ``ours`` relative to ``reference``."""
+    if reference == 0:
+        return math.inf if ours else 0.0
+    return (ours - reference) / reference * 100.0
+
+
+def ratio_str(ours: float, reference: float) -> str:
+    return f"{ours / reference:.2f}x" if reference else "n/a"
+
+
+def markdown_table(headers: Sequence[str],
+                   rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            magnitude = abs(cell)
+            if magnitude >= 1000 or magnitude < 0.01:
+                return f"{cell:.3g}"
+            return f"{cell:.3f}".rstrip("0").rstrip(".")
+        return str(cell)
+
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(c) for c in row) + " |")
+    return "\n".join(lines)

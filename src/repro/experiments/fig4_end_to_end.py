@@ -1,0 +1,147 @@
+"""Figure 4: end-to-end roofline analysis for all models on all devices.
+
+Six sub-plots in the paper: A100 (fp16 & int8), RTX 4090 (fp16), Xeon
+6330 (fp32), the Jetsons (fp16), RPi 4B (fp32) and NPU 3720 (fp16).
+Each model is one point (arithmetic intensity, achieved FLOP/s) at the
+device's preferred batch size.  Transformer / diffusion models are
+skipped on the edge and CPU platforms as the paper does; the NPU skips
+everything its op support cannot compile (§4.3's "only a small portion
+of models"); the SD UNet runs one iteration at latent 128² with batch 4
+and is excluded from int8 (footnote 5).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..backends import UnsupportedModelError
+from ..core.profiler import Profiler
+from ..core.roofline import RooflinePoint, roofline_for
+from ..hardware.specs import platform
+from ..ir.tensor import DataType
+from ..models.registry import MODEL_ZOO
+from .common import ExperimentMeta, markdown_table
+
+META = ExperimentMeta("Figure 4", "End-to-end roofline analysis", "4.3")
+
+__all__ = ["META", "PlotConfig", "ModelPoint", "Subplot", "PLOTS", "run",
+           "to_markdown"]
+
+
+@dataclass(frozen=True)
+class PlotConfig:
+    """One Figure 4 sub-plot: platform + backend + precision + batch."""
+
+    plot_id: str
+    platform: str
+    backend: str
+    precision: str
+    batch_size: int
+    include_transformers: bool = True
+    include_diffusion: bool = True
+
+
+#: device-preferred batch sizes: large on the big GPUs, small on edge
+PLOTS: Sequence[PlotConfig] = (
+    PlotConfig("a100-fp16", "a100", "trt-sim", "fp16", 128),
+    PlotConfig("a100-int8", "a100", "trt-sim", "int8", 128,
+               include_diffusion=False),
+    PlotConfig("rtx4090-fp16", "rtx4090", "trt-sim", "fp16", 64),
+    PlotConfig("xeon6330-fp32", "xeon6330", "ort-sim", "fp32", 16,
+               include_transformers=False, include_diffusion=False),
+    PlotConfig("xavier-nx-fp16", "xavier-nx", "trt-sim", "fp16", 16,
+               include_transformers=False, include_diffusion=False),
+    PlotConfig("orin-nx-fp16", "orin-nx", "trt-sim", "fp16", 16,
+               include_transformers=False, include_diffusion=False),
+    PlotConfig("rpi4b-fp32", "rpi4b", "ort-sim", "fp32", 4,
+               include_transformers=False, include_diffusion=False),
+    PlotConfig("npu3720-fp16", "npu3720", "ov-sim", "fp16", 8,
+               include_transformers=True, include_diffusion=False),
+)
+
+
+@dataclass(frozen=True)
+class ModelPoint:
+    row: int
+    model: str
+    arithmetic_intensity: float
+    achieved_tflops: float
+    latency_ms: float
+    fraction_of_peak: float
+
+
+@dataclass
+class Subplot:
+    config: PlotConfig
+    peak_tflops: float
+    peak_bandwidth_gbs: float
+    ridge_intensity: float
+    points: List[ModelPoint] = field(default_factory=list)
+    skipped: Dict[str, str] = field(default_factory=dict)
+
+
+def _models_for(config: PlotConfig):
+    for entry in sorted(MODEL_ZOO.values(), key=lambda e: e.row):
+        if entry.edge_excluded and not config.include_transformers:
+            continue
+        if entry.model_type == "Diffu." and not config.include_diffusion:
+            continue
+        yield entry
+
+
+def run(plots: Sequence[PlotConfig] = PLOTS) -> List[Subplot]:
+    out: List[Subplot] = []
+    for config in plots:
+        spec = platform(config.platform)
+        precision = DataType.parse(config.precision)
+        profiler = Profiler(config.backend, spec, precision)
+        roof = roofline_for(spec, precision)
+        sub = Subplot(
+            config=config,
+            peak_tflops=roof.peak_flops / 1e12,
+            peak_bandwidth_gbs=roof.peak_bandwidth / 1e9,
+            ridge_intensity=roof.ridge_intensity,
+        )
+        for entry in _models_for(config):
+            if entry.key == "sd-unet":
+                graph = entry.build(batch_size=4, latent_size=128)
+            else:
+                graph = entry.build(batch_size=config.batch_size)
+            try:
+                report = profiler.profile(graph)
+            except UnsupportedModelError as exc:
+                sub.skipped[entry.key] = str(exc)
+                continue
+            e = report.end_to_end
+            sub.points.append(ModelPoint(
+                row=entry.row,
+                model=entry.key,
+                arithmetic_intensity=e.arithmetic_intensity,
+                achieved_tflops=e.achieved_flops / 1e12,
+                latency_ms=e.latency_seconds * 1e3,
+                fraction_of_peak=e.achieved_flops / roof.peak_flops,
+            ))
+        out.append(sub)
+    return out
+
+
+def to_markdown(subplots: List[Subplot]) -> str:
+    parts = [f"### {META.artifact}: {META.title} (§{META.section})"]
+    for sub in subplots:
+        c = sub.config
+        parts.append(
+            f"\n**{c.plot_id}** — peak {sub.peak_tflops:.1f} TFLOP/s, "
+            f"BW {sub.peak_bandwidth_gbs:.0f} GB/s, "
+            f"ridge AI {sub.ridge_intensity:.1f}, bs={c.batch_size}\n")
+        parts.append(markdown_table(
+            ["#", "Model", "AI (FLOP/B)", "TFLOP/s", "% of peak",
+             "Latency (ms)"],
+            [[p.row, p.model, round(p.arithmetic_intensity, 1),
+              round(p.achieved_tflops, 2),
+              f"{p.fraction_of_peak * 100:.1f}%", round(p.latency_ms, 2)]
+             for p in sub.points]))
+        if sub.skipped:
+            parts.append("\nskipped: " + ", ".join(
+                f"{k} ({'unsupported ops' if 'op types' in v else 'conversion failure'})"
+                for k, v in sub.skipped.items()))
+    return "\n".join(parts)

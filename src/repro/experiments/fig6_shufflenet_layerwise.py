@@ -1,0 +1,116 @@
+"""Figure 6: layer-wise rooflines of the original and modified
+ShuffleNetV2 x1.0 (fp16, batch 2048) with latency-distribution bars.
+
+The paper adds bar charts along both roofline axes "to have a better
+view of the latency distributions of the model layers … since some
+points overlap".  This module reproduces the charts (SVG, with the
+histogram values computed by the data-viewer) and the quantitative
+reading: in the original model the transpose (data-movement) layers
+carry most of the latency at very low arithmetic intensity, while the
+convolutions that carry the FLOP take only ~40%; the modified model
+inverts that.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.dataviewer import latency_histogram, render_roofline_svg
+from ..core.profiler import Profiler
+from ..core.report import ProfileReport
+from ..core.roofline import Roofline, RooflinePoint, roofline_for
+from ..hardware.specs import platform
+from ..ir.tensor import DataType
+from ..models.shufflenet import shufflenet_v2, shufflenet_v2_modified
+from .common import ExperimentMeta, markdown_table
+
+META = ExperimentMeta("Figure 6", "ShuffleNetV2 layer-wise rooflines "
+                      "with latency distributions", "4.5")
+
+__all__ = ["META", "Fig6Variant", "run", "to_markdown", "render_svgs"]
+
+BATCH = 2048
+
+
+@dataclass
+class Fig6Variant:
+    label: str
+    report: ProfileReport
+    points: List[RooflinePoint]
+    roofline: Roofline
+    #: (bin_left, bin_right, latency) along each axis — the side bars
+    intensity_bars: List[Tuple[float, float, float]]
+    flops_bars: List[Tuple[float, float, float]]
+    #: latency share of conv-family vs transpose/copy classes
+    conv_share: float = 0.0
+    movement_share: float = 0.0
+
+
+def run(batch_size: int = BATCH, platform_name: str = "a100"
+        ) -> List[Fig6Variant]:
+    spec = platform(platform_name)
+    profiler = Profiler("trt-sim", spec, "fp16")
+    roof = roofline_for(spec, DataType.FLOAT16)
+    out: List[Fig6Variant] = []
+    for label, builder in (("original", shufflenet_v2),
+                           ("modified", shufflenet_v2_modified)):
+        report = profiler.profile(builder(1.0, batch_size=batch_size))
+        shares = report.latency_share_by_class()
+        out.append(Fig6Variant(
+            label=label,
+            report=report,
+            points=profiler.layer_points(report),
+            roofline=roof,
+            intensity_bars=latency_histogram(report.layers,
+                                             axis="intensity"),
+            flops_bars=latency_histogram(report.layers, axis="flops"),
+            conv_share=sum(shares.get(k, 0.0) for k in
+                           ("conv", "pointwise_conv", "depthwise_conv")),
+            movement_share=shares.get("data_movement", 0.0),
+        ))
+    return out
+
+
+def render_svgs(variants: List[Fig6Variant], out_dir: str) -> List[str]:
+    import os
+    paths = []
+    for v in variants:
+        path = os.path.join(out_dir, f"fig6_shufflenet_{v.label}.svg")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(render_roofline_svg(
+                v.roofline, v.points,
+                title=f"ShuffleNetV2 x1.0 ({v.label}), fp16 bs={BATCH}"))
+        paths.append(path)
+    return paths
+
+
+def to_markdown(variants: List[Fig6Variant]) -> str:
+    parts = [f"### {META.artifact}: {META.title} (§{META.section})\n"]
+    rows = []
+    for v in variants:
+        e = v.report.end_to_end
+        rows.append([v.label,
+                     round(e.latency_seconds * 1e3, 2),
+                     f"{v.movement_share * 100:.0f}%",
+                     f"{v.conv_share * 100:.0f}%",
+                     round(e.achieved_flops / 1e12, 2),
+                     round(e.achieved_bandwidth / 1e9, 0)])
+    parts.append(markdown_table(
+        ["Variant", "Latency (ms)", "Transpose+copy share", "Conv share",
+         "TFLOP/s", "GB/s"], rows))
+    for v in variants:
+        parts.append(f"\nlatency mass along the AI axis — {v.label}:\n")
+        total = sum(m for _, _, m in v.intensity_bars) or 1.0
+        bar_rows = []
+        for left, right, mass in v.intensity_bars:
+            if mass <= 0:
+                continue
+            bar_rows.append([f"{left:.2f}–{right:.2f}",
+                             f"{mass / total * 100:.1f}%"])
+        parts.append(markdown_table(["AI bin", "latency share"], bar_rows))
+    parts.append(
+        "\nShape criteria (paper Fig. 6): the original's latency mass "
+        "concentrates at near-zero AI (the Shuffle transposes/copies); "
+        "the modified model moves the mass to the convolution AI range "
+        "and the transpose share collapses.")
+    return "\n".join(parts)

@@ -1,0 +1,115 @@
+"""Table 1: profiling-tool comparison, quantified (§1).
+
+The paper's Table 1 is qualitative (✓/✗ cells).  With working baseline
+implementations we can measure each cell on a real model:
+
+* **mapping to model design** — fraction of profile entries a developer
+  can attribute to a model-design layer from the tool's output alone;
+* **production performance** — how far each tool's end-to-end latency is
+  from the optimized-runtime deployment latency (framework execution is
+  systematically slower: no fusion, per-op dispatch);
+* **hardware metrics** — whether the tool reports memory traffic /
+  roofline position at all, and what collecting them costs.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..baselines import FrameworkProfiler, KernelProfiler, RuntimeProfiler
+from ..core.profiler import Profiler
+from ..core.report import MetricSource
+from ..models.registry import build_model
+from .common import ExperimentMeta, markdown_table
+
+META = ExperimentMeta("Table 1", "Profiling tools for DNNs, quantified", "1")
+
+__all__ = ["META", "ToolRow", "run", "to_markdown"]
+
+
+@dataclass(frozen=True)
+class ToolRow:
+    tool: str
+    #: share of model-design layers attributable from the tool's output
+    mapping_fraction: float
+    latency_vs_production: float     # tool-observed latency / deployment
+    has_memory_metrics: bool
+    overhead_seconds: float          # metric-collection cost
+
+
+def run(model_key: str = "vit-tiny", batch_size: int = 32,
+        platform: str = "a100") -> List[ToolRow]:
+    graph = build_model(model_key, batch_size=batch_size)
+    # ground-truth production latency: the optimized engine
+    runtime = RuntimeProfiler("trt-sim", platform)
+    production = runtime.total_latency_seconds(
+        build_model(model_key, batch_size=batch_size))
+
+    rows: List[ToolRow] = []
+
+    # 1) DL framework profiler (pytorch-OpCounter style)
+    framework = FrameworkProfiler(platform, "fp16")
+    fw_latency = framework.total_latency_seconds(
+        build_model(model_key, batch_size=batch_size))
+    rows.append(ToolRow(
+        tool="DL framework profiler",
+        mapping_fraction=1.0,                # reports model layers directly
+        latency_vs_production=fw_latency / production,
+        has_memory_metrics=False,
+        overhead_seconds=0.0,
+    ))
+
+    # 2) runtime built-in profiler
+    rows.append(ToolRow(
+        tool="Runtime built-in profiler",
+        mapping_fraction=runtime.design_coverage(
+            build_model(model_key, batch_size=batch_size)),
+        latency_vs_production=1.0,           # it *is* the production run
+        has_memory_metrics=False,
+        overhead_seconds=0.0,
+    ))
+
+    # 3) vendor hardware (kernel) profiler
+    kernels = KernelProfiler("trt-sim", platform)
+    k_frac = kernels.design_coverage(
+        build_model(model_key, batch_size=batch_size))
+    rows.append(ToolRow(
+        tool="Hardware (kernel) profiler",
+        mapping_fraction=k_frac,
+        latency_vs_production=1.0,
+        has_memory_metrics=True,
+        overhead_seconds=kernels.last_profiling_seconds,
+    ))
+
+    # 4) PRoof (predicted mode): full mapping, production latencies,
+    #    hardware metrics, negligible overhead
+    proof = Profiler("trt-sim", platform, "fp16", MetricSource.PREDICTED)
+    report = proof.profile(build_model(model_key, batch_size=batch_size))
+    covered = {m for l in report.layers for m in l.model_layers}
+    model_names = {n.name for n in graph.nodes if n.name}
+    rows.append(ToolRow(
+        tool="PRoof (this work)",
+        mapping_fraction=len(covered & model_names) / len(model_names),
+        latency_vs_production=report.end_to_end.latency_seconds / production,
+        has_memory_metrics=True,
+        overhead_seconds=report.profiling_overhead_seconds,
+    ))
+    return rows
+
+
+def to_markdown(rows: List[ToolRow]) -> str:
+    body = markdown_table(
+        ["Tool", "Mapping to model design", "Latency vs production",
+         "Memory/roofline metrics", "Collection overhead (s)"],
+        [[r.tool, f"{r.mapping_fraction:.0%}",
+          f"{r.latency_vs_production:.2f}x",
+          "yes" if r.has_memory_metrics else "no",
+          round(r.overhead_seconds, 1)] for r in rows])
+    return (f"### {META.artifact}: {META.title} (§{META.section})\n\n"
+            f"{body}\n\n"
+            "Shape criteria: framework execution is substantially slower "
+            "than the optimized deployment (limited 'production "
+            "performance' insight); kernel names map to ~0% of model "
+            "layers and collecting counters costs minutes; PRoof maps "
+            "100% at production latencies with hardware metrics for "
+            "free in predicted mode.")

@@ -1,0 +1,66 @@
+"""Table 2: hardware platforms for evaluation.
+
+Reports the simulated platform roster with the roofline-relevant
+numbers each spec was calibrated to, next to the paper's
+scenario/runtime assignment.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..hardware.specs import PLATFORMS, HardwareSpec
+from ..ir.tensor import DataType
+from .common import ExperimentMeta, markdown_table
+
+META = ExperimentMeta("Table 2", "Hardware for evaluation", "4.1")
+
+__all__ = ["META", "Row", "PAPER_RUNTIME", "run", "to_markdown"]
+
+#: the runtime the paper pairs with each platform
+PAPER_RUNTIME: Dict[str, str] = {
+    "a100": "TensorRT 8.6.1 (trt-sim)",
+    "rtx4090": "TensorRT 8.6.1 (trt-sim)",
+    "xeon6330": "ONNX Runtime 1.15.0 (ort-sim)",
+    "xavier-nx": "TensorRT 8.4.1 (trt-sim)",
+    "orin-nx": "TensorRT 8.5.2 (trt-sim)",
+    "rpi4b": "ONNX Runtime 1.14.1 (ort-sim)",
+    "npu3720": "OpenVINO 2024.0.0 (ov-sim)",
+}
+
+
+@dataclass(frozen=True)
+class Row:
+    name: str
+    scenario: str
+    runtime: str
+    peak_fp16_tflops: float
+    peak_int8_tops: float
+    bandwidth_gbs: float
+    achievable_bandwidth_gbs: float
+
+
+def run() -> List[Row]:
+    rows = []
+    for name, spec in PLATFORMS.items():
+        rows.append(Row(
+            name=name,
+            scenario=spec.scenario,
+            runtime=PAPER_RUNTIME.get(name, "trt-sim"),
+            peak_fp16_tflops=spec.peak_flops(DataType.FLOAT16) / 1e12,
+            peak_int8_tops=spec.peak_flops(DataType.INT8) / 1e12,
+            bandwidth_gbs=spec.dram_bandwidth / 1e9,
+            achievable_bandwidth_gbs=spec.achievable_bandwidth / 1e9,
+        ))
+    return rows
+
+
+def to_markdown(rows: List[Row]) -> str:
+    table = markdown_table(
+        ["Platform", "Scenario", "Runtime (paper → sim)",
+         "Peak fp16 (TFLOP/s)", "Peak int8 (TOP/s)",
+         "DRAM BW (GB/s)", "Achievable BW (GB/s)"],
+        [[r.name, r.scenario, r.runtime, round(r.peak_fp16_tflops, 1),
+          round(r.peak_int8_tops, 1), round(r.bandwidth_gbs, 0),
+          round(r.achievable_bandwidth_gbs, 0)] for r in rows])
+    return f"### {META.artifact}: {META.title} (§{META.section})\n\n{table}"

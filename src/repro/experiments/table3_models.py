@@ -1,0 +1,70 @@
+"""Table 3: the evaluation model zoo — nodes, parameters, GFLOP at bs=1.
+
+Reproduces every row with our from-scratch graph builders and PRoof's
+analytical FLOP model, against the paper-reported values.  Node counts
+are export-granularity-dependent (the paper exported from PyTorch with
+a particular opset; our builder emits e.g. fused LayerNormalization
+nodes) and are reported without a tolerance check; parameters and GFLOP
+are architecture properties and must match closely.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis.arep import AnalyzeRepresentation
+from ..models.registry import MODEL_ZOO, ModelEntry
+from .common import ExperimentMeta, markdown_table, pct_diff
+
+META = ExperimentMeta("Table 3", "Models for evaluation", "4.1")
+
+__all__ = ["META", "Row", "run", "to_markdown"]
+
+
+@dataclass(frozen=True)
+class Row:
+    row: int
+    key: str
+    model_type: str
+    nodes: int
+    paper_nodes: int
+    params_m: float
+    paper_params_m: float
+    gflop: float
+    paper_gflop: float
+
+    @property
+    def params_diff_pct(self) -> float:
+        return pct_diff(self.params_m, self.paper_params_m)
+
+    @property
+    def gflop_diff_pct(self) -> float:
+        return pct_diff(self.gflop, self.paper_gflop)
+
+
+def run(entries: List[ModelEntry] = None) -> List[Row]:
+    """Build every zoo model at bs=1 and collect its statistics."""
+    entries = entries or sorted(MODEL_ZOO.values(), key=lambda e: e.row)
+    rows: List[Row] = []
+    for e in entries:
+        graph = e.build(batch_size=1)
+        stats = AnalyzeRepresentation(graph).stats()
+        rows.append(Row(
+            row=e.row, key=e.key, model_type=e.model_type,
+            nodes=stats.num_nodes, paper_nodes=e.paper_nodes,
+            params_m=stats.params_m, paper_params_m=e.paper_params_m,
+            gflop=stats.gflop, paper_gflop=e.paper_gflop,
+        ))
+    return rows
+
+
+def to_markdown(rows: List[Row]) -> str:
+    table = markdown_table(
+        ["#", "Model", "Type", "Nodes", "Nodes (paper)",
+         "Params (M)", "Params (paper)", "GFLOP", "GFLOP (paper)",
+         "GFLOP diff"],
+        [[r.row, r.key, r.model_type, r.nodes, r.paper_nodes,
+          round(r.params_m, 2), r.paper_params_m,
+          round(r.gflop, 3), r.paper_gflop,
+          f"{r.gflop_diff_pct:+.1f}%"] for r in rows])
+    return f"### {META.artifact}: {META.title} (§{META.section})\n\n{table}"

@@ -1,0 +1,107 @@
+"""Table 4: accuracy of the analytical FLOP/memory prediction vs the
+(simulated) hardware-counter measurement, NVIDIA A100, fp16, bs=128.
+
+For the five representative models the paper uses, runs PRoof once in
+predicted mode and once in measured mode and reports the deviation plus
+the counter profiler's collection overhead ("Prof. time") against the
+analytical model's negligible cost.
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.profiler import Profiler
+from ..core.report import MetricSource
+from ..models.registry import build_model
+from .common import ExperimentMeta, markdown_table, pct_diff
+
+META = ExperimentMeta("Table 4", "Accuracy of FLOP and memory prediction", "4.2")
+
+__all__ = ["META", "Row", "MODELS", "PAPER_ROWS", "run", "to_markdown"]
+
+MODELS: Sequence[str] = ("efficientnetv2-s", "mobilenetv2-10", "resnet50",
+                         "swin-small", "vit-tiny")
+
+#: paper-reported reference: (latency_ms, pred GFLOP, pred MB,
+#: NCU GFLOP, NCU MB, prof time s, FLOP diff %, mem diff %)
+PAPER_ROWS = {
+    "efficientnetv2-s": (16.644, 771.794, 11669.419, 962.575, 11820.696,
+                         1327, -19.82, -1.28),
+    "mobilenetv2-10": (3.894, 79.452, 3521.010, 104.492, 3474.114,
+                       343, -23.96, +1.35),
+    "resnet50": (8.918, 1050.435, 7052.921, 1072.227, 7150.855,
+                 395, -2.03, -1.37),
+    "swin-small": (43.935, 2268.528, 28897.395, 2414.215, 31431.407,
+                   1930, -6.03, -8.06),
+    "vit-tiny": (5.308, 327.382, 4059.092, 298.195, 3826.516,
+                 483, +9.79, +6.08),
+}
+
+
+@dataclass(frozen=True)
+class Row:
+    model: str
+    latency_ms: float
+    pred_gflop: float
+    pred_memory_mb: float
+    measured_gflop: float
+    measured_memory_mb: float
+    analytical_seconds: float
+    profiling_seconds: float
+
+    @property
+    def flop_diff_pct(self) -> float:
+        """Predicted vs measured, the paper's 'Diff. from NCU' column."""
+        return pct_diff(self.pred_gflop, self.measured_gflop)
+
+    @property
+    def memory_diff_pct(self) -> float:
+        return pct_diff(self.pred_memory_mb, self.measured_memory_mb)
+
+
+def run(models: Sequence[str] = MODELS, batch_size: int = 128,
+        platform: str = "a100") -> List[Row]:
+    rows: List[Row] = []
+    predictor = Profiler("trt-sim", platform, "fp16", MetricSource.PREDICTED)
+    measurer = Profiler("trt-sim", platform, "fp16", MetricSource.MEASURED)
+    for key in models:
+        graph = build_model(key, batch_size=batch_size)
+        t0 = time.perf_counter()
+        pred = predictor.profile(graph)
+        analytical_s = time.perf_counter() - t0
+        graph2 = build_model(key, batch_size=batch_size)
+        meas = measurer.profile(graph2)
+        rows.append(Row(
+            model=key,
+            latency_ms=pred.end_to_end.latency_seconds * 1e3,
+            pred_gflop=pred.end_to_end.flop / 1e9,
+            pred_memory_mb=pred.end_to_end.memory_bytes / 1e6,
+            measured_gflop=meas.end_to_end.flop / 1e9,
+            measured_memory_mb=meas.end_to_end.memory_bytes / 1e6,
+            analytical_seconds=analytical_s,
+            profiling_seconds=meas.profiling_overhead_seconds,
+        ))
+    return rows
+
+
+def to_markdown(rows: List[Row]) -> str:
+    body = markdown_table(
+        ["Model", "Latency (ms)", "Pred GFLOP", "Pred MB",
+         "Counter GFLOP", "Counter MB", "Prof time (s)",
+         "FLOP diff", "Mem diff",
+         "FLOP diff (paper)", "Mem diff (paper)"],
+        [[r.model, round(r.latency_ms, 3), round(r.pred_gflop, 1),
+          round(r.pred_memory_mb, 0), round(r.measured_gflop, 1),
+          round(r.measured_memory_mb, 0), round(r.profiling_seconds, 0),
+          f"{r.flop_diff_pct:+.2f}%", f"{r.memory_diff_pct:+.2f}%",
+          f"{PAPER_ROWS[r.model][6]:+.2f}%", f"{PAPER_ROWS[r.model][7]:+.2f}%"]
+         for r in rows])
+    return (f"### {META.artifact}: {META.title} (§{META.section})\n\n"
+            f"{body}\n\n"
+            "Shape criteria: memory prediction within a few percent; conv "
+            "nets under-predict FLOP (tensor-core tile padding), ViT "
+            "over-predicts (SFU work invisible to counters); counter "
+            "profiling costs minutes while the analytical model costs "
+            "milliseconds.")

@@ -1,0 +1,12 @@
+"""Hardware platform simulation: specs, latency, counters and power."""
+from .specs import HardwareSpec, PLATFORMS, platform, platform_names
+from .latency import Bound, LatencySimulator, LayerTiming, WorkItem
+from .counters import CounterMeasurement, CounterProfiler, NCU_HMMA_FIXED_FLOP
+from .power import CpuCluster, PowerModel, PowerReading
+
+__all__ = [
+    "HardwareSpec", "PLATFORMS", "platform", "platform_names",
+    "Bound", "LatencySimulator", "LayerTiming", "WorkItem",
+    "CounterMeasurement", "CounterProfiler", "NCU_HMMA_FIXED_FLOP",
+    "CpuCluster", "PowerModel", "PowerReading",
+]

@@ -1,0 +1,221 @@
+"""Simulated hardware-counter profiling (the reproduction's Nsight Compute).
+
+PRoof's *measured* mode reads FLOP and DRAM-traffic counters from a
+vendor profiler.  This module simulates such a profiler on top of the
+platform specs, reproducing the two phenomena the paper's Table 4
+analyses:
+
+* **Hardware FLOP vs Model FLOP.**  The counter value reflects what the
+  silicon executed, not what the layer conceptually needs: matrix ops
+  are padded up to MMA tile multiples (so conv nets with odd channel
+  counts measure *more* FLOP than predicted — EfficientNet/MobileNet's
+  negative "Diff. from NCU"), while transcendental instructions run on
+  SFU pipes that the FLOP counters do not see (so transformer models
+  with big softmax/GELU shares measure *fewer* FLOP — ViT's positive
+  diff).  The real NCU additionally miscounts HMMA instructions with a
+  fixed 512 FLOP/instruction (confirmed by NVIDIA, §4.2); like the
+  paper, we report the architecture-corrected value, and
+  :data:`NCU_HMMA_FIXED_FLOP` documents the quirk.
+
+* **Profiling overhead.**  Counter collection replays every kernel for
+  each metric group; the simulated ``profiling_seconds`` reproduces the
+  minutes-scale "Prof. time" column against PRoof's negligible
+  analytical cost.
+"""
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..analysis.opdefs import OpClass, OpView, gemm_dims, operator_def
+from ..ir.node import Node
+from ..ir.tensor import DataType, TensorInfo
+from .specs import HardwareSpec
+
+__all__ = ["CounterMeasurement", "CounterProfiler", "NCU_HMMA_FIXED_FLOP"]
+
+#: the FLOP/instruction constant the real NCU hard-codes for HMMA; only
+#: correct for Volta's HMMA.884.F32.F32 (see paper footnote 4)
+NCU_HMMA_FIXED_FLOP = 512
+
+#: residual of the paper's per-architecture HMMA-count correction on
+#: GEMM kernels: the correction maps instruction counts to FLOP with a
+#: per-(architecture, kernel-type) table (Raihan et al.), which reads a
+#: few % low on the tensor-core GEMM kernels Myelin emits — the reason
+#: Table 4's ViT row shows the prediction *above* the corrected NCU
+#: value.  Convolutions go through cuDNN kernels the table models well.
+HMMA_CORRECTION_RESIDUAL = 0.88
+
+#: FLOP the counter pipes actually see per element for map ops — SFU
+#: work (exp, erf, rsqrt…) is invisible to the FADD/FMUL/FFMA counters.
+_HW_EW_FLOP: Dict[str, float] = {
+    "Relu": 1.0, "LeakyRelu": 2.0, "Clip": 2.0, "Add": 1.0, "Sub": 1.0,
+    "Mul": 1.0, "Div": 0.0, "Min": 1.0, "Max": 1.0, "Pow": 0.0,
+    "Sqrt": 0.0, "Exp": 0.0, "Log": 0.0, "Erf": 0.0, "Sigmoid": 1.0,
+    "Tanh": 0.0, "HardSigmoid": 3.0, "HardSwish": 4.0, "Gelu": 2.0,
+    "Softplus": 1.0, "Mish": 2.0, "Where": 1.0, "Neg": 1.0, "Abs": 1.0,
+    "Reciprocal": 0.0, "PRelu": 2.0, "Cast": 0.0,
+}
+
+#: measured-vs-predicted DRAM traffic factor per op class: matrix
+#: kernels keep epilogues in registers/L2 (slightly below prediction);
+#: strided copies and gathers burn uncoalesced extra traffic.
+_MEM_FACTOR: Dict[OpClass, float] = {
+    OpClass.MATMUL: 0.94,
+    OpClass.CONV: 1.01,
+    OpClass.POINTWISE_CONV: 1.03,
+    OpClass.DEPTHWISE_CONV: 1.05,
+    OpClass.ELEMENTWISE: 1.00,
+    OpClass.NORMALIZATION: 0.97,
+    OpClass.SOFTMAX: 1.02,
+    OpClass.REDUCTION: 1.02,
+    OpClass.DATA_MOVEMENT: 1.12,
+    OpClass.EMBEDDING: 1.30,
+    OpClass.ZERO_COST: 1.0,
+}
+
+
+@dataclass(frozen=True)
+class CounterMeasurement:
+    """What the simulated vendor profiler reports for one backend layer."""
+
+    name: str
+    hardware_flop: float
+    memory_bytes: float
+    kernel_count: int
+
+
+def _pad(dim: int, tile: int) -> int:
+    return max(tile, math.ceil(dim / tile) * tile)
+
+
+def _name_jitter(name: str, spread: float = 0.02) -> float:
+    """Deterministic per-layer measurement noise in [1-spread, 1+spread].
+
+    Real counter readings wobble with cache state and replay ordering;
+    hashing the layer name keeps the simulation reproducible.
+    """
+    digest = hashlib.sha256(name.encode()).digest()
+    unit = int.from_bytes(digest[:4], "little") / 0xFFFFFFFF
+    return 1.0 + spread * (2.0 * unit - 1.0)
+
+
+class CounterProfiler:
+    """Per-layer hardware counter simulation for one platform."""
+
+    def __init__(self, spec: HardwareSpec,
+                 replay_passes: int = 12,
+                 per_kernel_fixed_seconds: float = 4.0,
+                 replay_overhead_seconds: float = 0.03) -> None:
+        self.spec = spec
+        self.replay_passes = replay_passes
+        self.per_kernel_fixed_seconds = per_kernel_fixed_seconds
+        self.replay_overhead_seconds = replay_overhead_seconds
+
+    # ------------------------------------------------------------------
+    # hardware FLOP
+    # ------------------------------------------------------------------
+    def node_hardware_flop(self, node: Node,
+                           info_fn: Callable[[str], TensorInfo],
+                           precision: DataType) -> float:
+        """Counter-visible FLOP for one model node."""
+        view = OpView(node, info_fn, precision)
+        opdef = operator_def(node.op_type)
+        klass = opdef.classify(view)
+        tm, tn, tk = self.spec.mma_tile
+        if node.op_type in ("MatMul", "Gemm"):
+            # Dense GEMMs pick tile shapes that fit the problem, so the
+            # counter only sees padding at MMA *instruction* granularity
+            # (16x16x16), not at the CTA tile — Swin's 49-token windows
+            # still pay ~30% there, ViT's 197-token rows only ~6%.
+            m, n, k, batch = gemm_dims(node, info_fn)
+            flop = 2.0 * batch * _pad(m, 16) * _pad(n, 16) * _pad(k, 16)
+            if node.op_type == "Gemm" and len(node.present_inputs) > 2:
+                flop += batch * m * n
+            return flop * HMMA_CORRECTION_RESIDUAL
+        if node.op_type in ("Conv", "ConvTranspose"):
+            return self._conv_hardware_flop(node, view, klass)
+        if node.op_type in _HW_EW_FLOP:
+            return _HW_EW_FLOP[node.op_type] * view.out_info().numel
+        if klass in (OpClass.NORMALIZATION,):
+            return 4.0 * view.out_info().numel
+        if klass is OpClass.SOFTMAX:
+            # max/subtract/accumulate are visible; exp runs on the SFU
+            return 3.0 * view.out_info().numel
+        # reductions, pooling, movement: model count is close to hardware
+        return opdef.flop(view)
+
+    def _conv_hardware_flop(self, node: Node, view: OpView,
+                            klass: OpClass) -> float:
+        x = view.in_info(0)
+        w = view.in_info(1)
+        out = view.out_info()
+        group = node.int_attr("group", 1)
+        kernel_elems = math.prod(w.shape[2:])
+        tm, tn, tk = self.spec.mma_tile
+        if klass is OpClass.DEPTHWISE_CONV:
+            # vector path: channels padded to the SIMD width
+            vec = max(8, tn // 2)
+            c_pad = _pad(x.shape[1], vec)
+            macs = out.numel / x.shape[1] * c_pad * kernel_elems
+            return 2.0 * macs + (out.numel if len(node.present_inputs) > 2 else 0)
+        # implicit GEMM: M = N*outH*outW, N = Cout/g, K = Cin/g * kh*kw
+        spatial = math.prod(out.shape[2:])
+        m = out.shape[0] * spatial
+        n = w.shape[0] // group
+        k = w.shape[1] * kernel_elems
+        macs = group * _pad(m, tm) * _pad(n, tn) * _pad(k, tk)
+        flop = 2.0 * macs
+        if len(node.present_inputs) > 2:
+            flop += out.numel
+        return flop
+
+    # ------------------------------------------------------------------
+    # per-unit measurement
+    # ------------------------------------------------------------------
+    def measure(self, name: str, member_nodes: Iterable[Node],
+                info_fn: Callable[[str], TensorInfo],
+                predicted_memory_bytes: float,
+                op_class: OpClass,
+                precision: DataType,
+                folded: Iterable[str] = ()) -> CounterMeasurement:
+        """Measure one backend layer (a fused set of model nodes)."""
+        folded = set(folded)
+        hw_flop = 0.0
+        kernels = 0
+        for node in member_nodes:
+            if node.name in folded:
+                continue
+            flop = self.node_hardware_flop(node, info_fn, precision)
+            hw_flop += flop
+            if operator_def(node.op_type).classify(
+                    OpView(node, info_fn, precision)) is not OpClass.ZERO_COST:
+                kernels += 1
+        mem = predicted_memory_bytes * _MEM_FACTOR.get(op_class, 1.0)
+        mem *= _name_jitter(name)
+        return CounterMeasurement(
+            name=name,
+            hardware_flop=hw_flop,
+            memory_bytes=mem,
+            kernel_count=max(1, min(kernels, 2)),  # fused layers launch 1–2 kernels
+        )
+
+    # ------------------------------------------------------------------
+    # profiling overhead (Table 4 "Prof. time")
+    # ------------------------------------------------------------------
+    def profiling_seconds(self, measurements: Iterable[CounterMeasurement],
+                          layer_seconds: Iterable[float]) -> float:
+        """Wall time the counter profiler itself costs.
+
+        Each kernel is replayed once per metric pass, paying a fixed
+        serialization/setup cost plus the kernel time and a flush
+        overhead per replay.
+        """
+        total = 0.0
+        for meas, secs in zip(measurements, layer_seconds):
+            per_replay = secs + self.replay_overhead_seconds
+            total += meas.kernel_count * (
+                self.per_kernel_fixed_seconds + self.replay_passes * per_replay)
+        return total

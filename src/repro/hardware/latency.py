@@ -1,0 +1,189 @@
+"""Backend-layer latency simulation.
+
+The paper reads per-layer latencies from real inference runtimes; this
+environment has no GPU, so latency comes from a calibrated roofline-
+with-efficiency model instead (see DESIGN.md, substitution table):
+
+``t = t_launch + max(FLOP / (peak · η_c),  bytes / (BW · η_m))``
+
+where the compute efficiency ``η_c`` combines a per-op-class cap, a
+utilization ramp in the amount of work (small kernels cannot fill the
+machine), and — for matrix ops — a tile-quantization factor from the
+GEMM dimensions; the memory efficiency ``η_m`` reflects the access
+pattern (streaming vs transpose vs gather).  The model is deliberately
+simple and *deterministic*: every experiment in the reproduction reads
+the same latencies.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+from ..analysis.opdefs import OpClass
+from ..ir.tensor import DataType
+from .specs import HardwareSpec
+
+__all__ = ["WorkItem", "LayerTiming", "Bound", "LatencySimulator"]
+
+#: op classes that can run on the matrix units (tensor cores / NPU MACs)
+_MATRIX_CLASSES = frozenset(
+    {OpClass.MATMUL, OpClass.CONV, OpClass.POINTWISE_CONV})
+
+
+class Bound(Enum):
+    """What limits a layer's latency."""
+
+    COMPUTE = "compute"
+    MEMORY = "memory"
+    LAUNCH = "launch"
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One backend layer's workload, as seen by the hardware."""
+
+    name: str
+    flop: float
+    read_bytes: float
+    write_bytes: float
+    op_class: OpClass
+    precision: DataType = DataType.FLOAT16
+    #: (M, N, K) of the dominant GEMM, when the layer has one — used for
+    #: tile-quantization efficiency and hardware-FLOP padding
+    gemm_mnk: Optional[Tuple[int, int, int]] = None
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        mem = self.memory_bytes
+        if mem <= 0:
+            return math.inf if self.flop > 0 else 0.0
+        return self.flop / mem
+
+
+@dataclass(frozen=True)
+class LayerTiming:
+    """Simulated timing of one backend layer."""
+
+    item: WorkItem
+    compute_seconds: float
+    memory_seconds: float
+    launch_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return self.launch_seconds + max(self.compute_seconds, self.memory_seconds)
+
+    @property
+    def bound(self) -> Bound:
+        body = max(self.compute_seconds, self.memory_seconds)
+        if self.launch_seconds > body:
+            return Bound.LAUNCH
+        return Bound.COMPUTE if self.compute_seconds >= self.memory_seconds \
+            else Bound.MEMORY
+
+    @property
+    def achieved_flops(self) -> float:
+        return self.item.flop / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def achieved_bandwidth(self) -> float:
+        return self.item.memory_bytes / self.seconds if self.seconds > 0 else 0.0
+
+
+def _ramp(work: float, half_point: float) -> float:
+    """Smooth utilization ramp: 0 at no work, 0.5 at ``half_point``,
+    asymptotically 1 for large kernels."""
+    if work <= 0:
+        return 0.0
+    return work / (work + half_point)
+
+
+def tile_quantization(dims: Tuple[int, int, int],
+                      tile: Tuple[int, int, int]) -> float:
+    """Fraction of the padded-tile MACs that are useful work.
+
+    A GEMM of (M, N, K) executed with (tm, tn, tk) matrix tiles pads
+    each dimension up to a tile multiple; odd dimensions (EfficientNet's
+    channel counts, ViT's sequence lengths) waste a measurable share.
+    """
+    frac = 1.0
+    for d, t in zip(dims, tile):
+        if d <= 0:
+            return 1.0
+        padded = math.ceil(d / t) * t
+        frac *= d / padded
+    return frac
+
+
+class LatencySimulator:
+    """Roofline-with-efficiency latency model for one platform."""
+
+    def __init__(self, spec: HardwareSpec) -> None:
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    def compute_peak(self, op_class: OpClass, precision: DataType) -> float:
+        """The compute ceiling this op class can draw on, FLOP/s."""
+        if op_class in _MATRIX_CLASSES:
+            return self.spec.matrix_peak(precision)
+        return self.spec.vector_peak(precision)
+
+    def compute_efficiency(self, item: WorkItem) -> float:
+        """Overall fraction of the class peak this kernel achieves
+        (diagnostic view of the same model :meth:`time` uses)."""
+        eff = self.spec.class_efficiency.get(item.op_class, 0.7)
+        padded = item.flop / self.tile_fraction(item)
+        if padded + self.spec.compute_saturation_flop > 0:
+            eff *= item.flop / (padded + self.spec.compute_saturation_flop)
+        return eff
+
+    def tile_fraction(self, item: WorkItem) -> float:
+        """Useful share of the padded-tile work for matrix ops."""
+        if item.op_class in _MATRIX_CLASSES and item.gemm_mnk is not None:
+            return tile_quantization(item.gemm_mnk, self.spec.mma_tile)
+        return 1.0
+
+    def memory_bandwidth(self, item: WorkItem) -> float:
+        bw = self.spec.dram_bandwidth * self.spec.stream_efficiency
+        bw *= self.spec.memory_efficiency.get(item.op_class, 0.7)
+        if self.spec.issue_bandwidth > 0:
+            # streaming is issued by the SMs; a downclocked GPU cannot
+            # request bytes fast enough to saturate DRAM (Table 6 #3/#4)
+            bw = min(bw, self.spec.issue_bandwidth)
+        bw *= _ramp(item.memory_bytes, self.spec.memory_saturation_bytes)
+        return bw
+
+    # ------------------------------------------------------------------
+    def time(self, item: WorkItem) -> LayerTiming:
+        """Simulate one backend layer."""
+        if item.flop < 0 or item.read_bytes < 0 or item.write_bytes < 0:
+            raise ValueError(f"negative workload in {item.name!r}")
+        if item.flop > 0:
+            peak = self.compute_peak(item.op_class, item.precision)
+            eff = self.spec.class_efficiency.get(item.op_class, 0.7)
+            # tile padding inflates the *work*; the pipeline fill/drain
+            # cost (saturation term) is fixed per kernel — keeping it
+            # outside the padding keeps latency monotone in batch size
+            padded = item.flop / self.tile_fraction(item)
+            compute_s = (padded + self.spec.compute_saturation_flop) \
+                / (peak * eff) if peak * eff > 0 else 0.0
+        else:
+            compute_s = 0.0
+        if item.memory_bytes > 0:
+            bw = self.memory_bandwidth(item)
+            memory_s = item.memory_bytes / bw if bw > 0 else 0.0
+        else:
+            memory_s = 0.0
+        launch = 0.0 if item.op_class is OpClass.ZERO_COST \
+            else self.spec.kernel_launch_overhead
+        return LayerTiming(item, compute_s, memory_s, launch)
+
+    def total_seconds(self, items) -> float:
+        """End-to-end latency: backend layers execute sequentially."""
+        return sum(self.time(it).seconds for it in items)

@@ -1,0 +1,120 @@
+"""Power model for clock-tunable platforms (paper §4.6).
+
+The Jetson study tunes GPU and memory (EMC) clocks under a power budget
+and reads module power from ``jtop``.  The reproduction models power as
+
+``P = P_idle + k_c · f_gpu · (parts/total) · (α_c + (1-α_c) · u_c)
+           + k_m · f_emc · (α_m + (1-α_m) · u_m)
+           + (number of powered CPU clusters) · P_cluster``
+
+i.e. each clock domain burns a clock-proportional share even when idle
+(α terms — clock tree and leakage track frequency) plus an
+activity-proportional share, where the utilizations are the *busy
+fractions* of each domain (see :meth:`PowerModel.busy_fractions`).
+Coefficients live on the :class:`~repro.hardware.specs.HardwareSpec`
+and were least-squares calibrated against the paper's Table 6 (roofline
+peak test) and Table 7 (EfficientNetV2-T under nvpmodel profiles) for
+the Orin NX; the residual is below 2 W on every row.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from .specs import HardwareSpec
+
+__all__ = ["PowerModel", "CpuCluster", "PowerReading"]
+
+#: activity-independent fraction of each domain's clock-tracking power
+_ALPHA_COMPUTE = 0.43
+_ALPHA_MEMORY = 0.17
+
+#: the Jetson CPU clusters' reference (max) clock, MHz
+_CPU_MAX_CLOCK = 1984.0
+
+
+@dataclass(frozen=True)
+class CpuCluster:
+    """One CPU cluster's clock state; ``clock_mhz = 0`` means gated off."""
+
+    clock_mhz: float
+
+    @property
+    def is_on(self) -> bool:
+        return self.clock_mhz > 0
+
+
+@dataclass(frozen=True)
+class PowerReading:
+    """A simulated jtop sample."""
+
+    watts: float
+    compute_utilization: float
+    memory_utilization: float
+
+
+class PowerModel:
+    """Activity-sensitive power for one (possibly clock-scaled) spec."""
+
+    def __init__(self, spec: HardwareSpec) -> None:
+        if spec.power_per_compute_mhz <= 0:
+            raise ValueError(
+                f"platform {spec.name!r} has no power model coefficients")
+        self.spec = spec
+
+    def power(
+        self,
+        compute_utilization: float,
+        memory_utilization: float,
+        cpu_clusters: Sequence[CpuCluster] = (CpuCluster(729.0), CpuCluster(0.0)),
+    ) -> PowerReading:
+        """Module power at the spec's current clocks.
+
+        ``compute_utilization`` is achieved FLOP/s over the matrix peak
+        at these clocks; ``memory_utilization`` is achieved DRAM traffic
+        over nominal bandwidth.  Both clamp into [0, 1].
+        """
+        u_c = min(max(compute_utilization, 0.0), 1.0)
+        u_m = min(max(memory_utilization, 0.0), 1.0)
+        spec = self.spec
+        parts = spec.active_partitions / spec.total_partitions
+        p = spec.power_idle_w
+        p += (spec.power_per_compute_mhz * spec.compute_clock_mhz * parts
+              * (_ALPHA_COMPUTE + (1.0 - _ALPHA_COMPUTE) * u_c))
+        p += (spec.power_per_memory_mhz * spec.memory_clock_mhz
+              * (_ALPHA_MEMORY + (1.0 - _ALPHA_MEMORY) * u_m))
+        for cluster in cpu_clusters:
+            if cluster.is_on:
+                p += spec.power_cpu_cluster_w
+        return PowerReading(watts=p, compute_utilization=u_c,
+                            memory_utilization=u_m)
+
+    def utilization_of_run(self, total_flop: float, total_bytes: float,
+                           total_seconds: float) -> Tuple[float, float]:
+        """Derive run-average utilizations from aggregate counters."""
+        if total_seconds <= 0:
+            return 0.0, 0.0
+        from ..ir.tensor import DataType
+        peak = self.spec.peak_flops(DataType.FLOAT16)
+        u_c = (total_flop / total_seconds) / peak if peak > 0 else 0.0
+        u_m = (total_bytes / total_seconds) / self.spec.dram_bandwidth
+        return u_c, u_m
+
+    def busy_fractions(self, report) -> Tuple[float, float]:
+        """Domain busy fractions from a per-layer profile.
+
+        A layer keeps the compute domain busy when its arithmetic
+        intensity is above the platform ridge (it is compute-bound);
+        otherwise the memory domain is the one doing the work.  These
+        are better power proxies than flop-over-peak: a downclocked-EMC
+        run stalls the SMs, and stalled SMs clock-gate (the paper's
+        Table 7 row #6 draws far less than MAXN at the same GPU clock).
+        """
+        from ..ir.tensor import DataType
+        ridge = self.spec.ridge_intensity(DataType.FLOAT16)
+        total = sum(l.latency_seconds for l in report.layers)
+        if total <= 0:
+            return 0.0, 0.0
+        compute = sum(l.latency_seconds for l in report.layers
+                      if l.arithmetic_intensity >= ridge)
+        return compute / total, 1.0 - compute / total

@@ -1,0 +1,26 @@
+"""Graph IR: the reproduction's self-contained stand-in for ONNX.
+
+Exposes tensors, nodes, graphs, a fluent builder, shape inference,
+a numpy reference executor and JSON serialization.
+"""
+from .tensor import DataType, Initializer, TensorInfo
+from .node import Node
+from .graph import Graph, GraphError
+from .builder import GraphBuilder
+from .shape_inference import (
+    ShapeInferenceError,
+    broadcast_shapes,
+    conv_output_spatial,
+    infer_shapes,
+    registered_ops,
+)
+from .executor import ExecutionError, Executor, execute, supported_ops
+from .serialization import from_json, load, save, to_json
+
+__all__ = [
+    "DataType", "Initializer", "TensorInfo", "Node", "Graph", "GraphError",
+    "GraphBuilder", "ShapeInferenceError", "broadcast_shapes",
+    "conv_output_spatial", "infer_shapes", "registered_ops",
+    "ExecutionError", "Executor", "execute", "supported_ops",
+    "from_json", "load", "save", "to_json",
+]

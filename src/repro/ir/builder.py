@@ -1,0 +1,427 @@
+"""Fluent graph construction API used by the model zoo.
+
+The builder plays the role PyTorch's ONNX exporter plays for the paper:
+model definitions call high-level methods (``conv``, ``linear``,
+``layernorm``…) and get back tensor names; the builder creates nodes,
+weight initializers and hierarchical node names, and runs shape
+inference *incrementally* so model code can query intermediate shapes
+while building (needed e.g. to size classifier heads).
+
+Weight tensors are created *virtual* (metadata only) — profiling never
+reads their values, and eagerly allocating the Stable-Diffusion UNet's
+860 M parameters would waste gigabytes.  The reference executor
+materializes them lazily.
+"""
+from __future__ import annotations
+
+import contextlib
+import math
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .graph import Graph
+from .node import Node
+from .shape_inference import _Ctx, _REGISTRY, ShapeInferenceError  # noqa: F401
+from .tensor import DataType, Initializer, TensorInfo
+
+__all__ = ["GraphBuilder"]
+
+IntOrPair = Union[int, Tuple[int, int], List[int]]
+
+
+def _pair(v: IntOrPair) -> Tuple[int, int]:
+    if isinstance(v, int):
+        return (v, v)
+    a, b = v
+    return (int(a), int(b))
+
+
+class GraphBuilder:
+    """Builds a :class:`~repro.ir.graph.Graph` node by node."""
+
+    def __init__(self, name: str, dtype: DataType = DataType.FLOAT32) -> None:
+        self.graph = Graph(name)
+        self.dtype = dtype
+        self._ctx = _Ctx(self.graph)
+        self._scopes: List[str] = []
+        self._counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # naming
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def scope(self, name: str) -> Iterator[None]:
+        """Hierarchical name scope, mirroring ``nn.Module`` paths."""
+        self._scopes.append(name)
+        try:
+            yield
+        finally:
+            self._scopes.pop()
+
+    def _qualify(self, name: str) -> str:
+        return "/".join(self._scopes + [name]) if self._scopes else name
+
+    def _fresh(self, kind: str) -> str:
+        self._counters[kind] = self._counters.get(kind, 0) + 1
+        return self._qualify(f"{kind}_{self._counters[kind]}")
+
+    # ------------------------------------------------------------------
+    # tensors
+    # ------------------------------------------------------------------
+    def input(self, name: str, shape: Sequence[int],
+              dtype: Optional[DataType] = None) -> str:
+        info = TensorInfo(name, tuple(shape), dtype or self.dtype)
+        self.graph.inputs.append(info)
+        self._ctx.infos[name] = info
+        return name
+
+    def weight(self, shape: Sequence[int], name: Optional[str] = None,
+               dtype: Optional[DataType] = None, qualify: bool = True) -> str:
+        """Declare a virtual (lazily materialized) weight tensor.
+
+        ``qualify=False`` skips scope prefixing for names that are
+        already fully qualified (used internally by layer helpers).
+        """
+        if name:
+            name = self._qualify(name) if qualify else name
+        else:
+            name = self._fresh("weight")
+        info = TensorInfo(name, tuple(shape), dtype or self.dtype)
+        self.graph.add_initializer(Initializer(info))
+        self._ctx.infos[name] = info
+        return name
+
+    def constant(self, value: np.ndarray, name: Optional[str] = None) -> str:
+        """Attach a constant tensor with known contents (shape vectors etc.)."""
+        value = np.asarray(value)
+        name = self._qualify(name) if name else self._fresh("const")
+        info = TensorInfo(name, value.shape, DataType.from_numpy(value.dtype))
+        self.graph.add_initializer(Initializer(info, value))
+        self._ctx.infos[name] = info
+        if value.size <= 4096:
+            self._ctx.consts[name] = value
+        return name
+
+    def scalar(self, value: float, dtype: Optional[DataType] = None,
+               name: Optional[str] = None) -> str:
+        dt = (dtype or self.dtype).to_numpy()
+        return self.constant(np.asarray(value, dtype=dt), name)
+
+    def shape_info(self, tensor: str) -> TensorInfo:
+        """Inferred info of any tensor created so far."""
+        return self._ctx.info(tensor)
+
+    def shape(self, tensor: str) -> Tuple[int, ...]:
+        return self.shape_info(tensor).shape
+
+    def output(self, *tensors: str) -> None:
+        for t in tensors:
+            self.graph.outputs.append(self._ctx.info(t))
+
+    # ------------------------------------------------------------------
+    # generic node
+    # ------------------------------------------------------------------
+    def node(
+        self,
+        op_type: str,
+        inputs: Sequence[str],
+        attrs: Optional[Dict] = None,
+        n_outputs: int = 1,
+        name: Optional[str] = None,
+        outputs: Optional[Sequence[str]] = None,
+    ) -> Union[str, List[str]]:
+        """Add a node, infer its output shapes, return output name(s)."""
+        node_name = self._qualify(name) if name else self._fresh(op_type)
+        if outputs is None:
+            if n_outputs == 1:
+                outputs = [f"{node_name}_out"]
+            else:
+                outputs = [f"{node_name}_out{i}" for i in range(n_outputs)]
+        node = Node(op_type, list(inputs), list(outputs), node_name, attrs or {})
+        self.graph.add_node(node)
+        infer = _REGISTRY.get(op_type)
+        if infer is None:
+            raise ShapeInferenceError(
+                f"builder: op type {op_type!r} has no shape inference; "
+                "register one or use Graph directly"
+            )
+        infer(node, self._ctx)
+        return outputs[0] if len(outputs) == 1 else list(outputs)
+
+    # ------------------------------------------------------------------
+    # convolution / pooling
+    # ------------------------------------------------------------------
+    def conv(
+        self,
+        x: str,
+        out_channels: int,
+        kernel: IntOrPair,
+        stride: IntOrPair = 1,
+        padding: IntOrPair = 0,
+        groups: int = 1,
+        dilation: IntOrPair = 1,
+        bias: bool = True,
+        name: Optional[str] = None,
+    ) -> str:
+        """2-D convolution with freshly declared weights."""
+        in_channels = self.shape(x)[1]
+        if in_channels % groups:
+            raise ValueError(f"conv: {in_channels} channels not divisible by groups={groups}")
+        kh, kw = _pair(kernel)
+        sh, sw = _pair(stride)
+        ph, pw = _pair(padding)
+        dh, dw = _pair(dilation)
+        node_name = self._qualify(name) if name else self._fresh("Conv")
+        w = self.weight((out_channels, in_channels // groups, kh, kw),
+                        name=f"{node_name}.weight".replace("/", "."),
+                        qualify=False)
+        inputs = [x, w]
+        if bias:
+            inputs.append(self.weight((out_channels,),
+                                      name=f"{node_name}.bias".replace("/", "."),
+                                      qualify=False))
+        return self.node(
+            "Conv", inputs,
+            attrs={
+                "kernel_shape": [kh, kw], "strides": [sh, sw],
+                "pads": [ph, pw, ph, pw], "dilations": [dh, dw], "group": groups,
+            },
+            name=name, outputs=[f"{node_name}_out"],
+        )
+
+    def depthwise_conv(self, x: str, kernel: IntOrPair, stride: IntOrPair = 1,
+                       padding: IntOrPair = 0, bias: bool = True,
+                       name: Optional[str] = None) -> str:
+        ch = self.shape(x)[1]
+        return self.conv(x, ch, kernel, stride, padding, groups=ch, bias=bias, name=name)
+
+    def pointwise_conv(self, x: str, out_channels: int, bias: bool = True,
+                       name: Optional[str] = None) -> str:
+        return self.conv(x, out_channels, 1, 1, 0, bias=bias, name=name)
+
+    def maxpool(self, x: str, kernel: IntOrPair, stride: Optional[IntOrPair] = None,
+                padding: IntOrPair = 0, ceil_mode: bool = False) -> str:
+        kh, kw = _pair(kernel)
+        sh, sw = _pair(stride if stride is not None else kernel)
+        ph, pw = _pair(padding)
+        return self.node("MaxPool", [x], attrs={
+            "kernel_shape": [kh, kw], "strides": [sh, sw],
+            "pads": [ph, pw, ph, pw], "ceil_mode": int(ceil_mode)})
+
+    def avgpool(self, x: str, kernel: IntOrPair, stride: Optional[IntOrPair] = None,
+                padding: IntOrPair = 0, ceil_mode: bool = False) -> str:
+        kh, kw = _pair(kernel)
+        sh, sw = _pair(stride if stride is not None else kernel)
+        ph, pw = _pair(padding)
+        return self.node("AveragePool", [x], attrs={
+            "kernel_shape": [kh, kw], "strides": [sh, sw],
+            "pads": [ph, pw, ph, pw], "ceil_mode": int(ceil_mode)})
+
+    def global_avgpool(self, x: str) -> str:
+        return self.node("GlobalAveragePool", [x])
+
+    # ------------------------------------------------------------------
+    # normalization
+    # ------------------------------------------------------------------
+    def batchnorm(self, x: str, name: Optional[str] = None) -> str:
+        ch = self.shape(x)[1]
+        node_name = self._qualify(name) if name else self._fresh("BatchNormalization")
+        base = node_name.replace("/", ".")
+        params = [
+            self.weight((ch,), name=f"{base}.scale", qualify=False),
+            self.weight((ch,), name=f"{base}.B", qualify=False),
+            self.weight((ch,), name=f"{base}.mean", qualify=False),
+            self.weight((ch,), name=f"{base}.var", qualify=False),
+        ]
+        return self.node("BatchNormalization", [x] + params,
+                         attrs={"epsilon": 1e-5},
+                         name=name, outputs=[f"{node_name}_out"])
+
+    def layernorm(self, x: str, axis: int = -1, name: Optional[str] = None) -> str:
+        dim = self.shape(x)[axis]
+        node_name = self._qualify(name) if name else self._fresh("LayerNormalization")
+        base = node_name.replace("/", ".")
+        scale = self.weight((dim,), name=f"{base}.scale", qualify=False)
+        bias = self.weight((dim,), name=f"{base}.bias", qualify=False)
+        return self.node("LayerNormalization", [x, scale, bias],
+                         attrs={"axis": axis, "epsilon": 1e-5},
+                         name=name, outputs=[f"{node_name}_out"])
+
+    def groupnorm(self, x: str, num_groups: int, name: Optional[str] = None) -> str:
+        ch = self.shape(x)[1]
+        node_name = self._qualify(name) if name else self._fresh("GroupNormalization")
+        base = node_name.replace("/", ".")
+        scale = self.weight((ch,), name=f"{base}.scale", qualify=False)
+        bias = self.weight((ch,), name=f"{base}.bias", qualify=False)
+        return self.node("GroupNormalization", [x, scale, bias],
+                         attrs={"num_groups": num_groups, "epsilon": 1e-5},
+                         name=name, outputs=[f"{node_name}_out"])
+
+    # ------------------------------------------------------------------
+    # activations
+    # ------------------------------------------------------------------
+    def relu(self, x: str) -> str:
+        return self.node("Relu", [x])
+
+    def relu6(self, x: str) -> str:
+        lo = self.scalar(0.0)
+        hi = self.scalar(6.0)
+        return self.node("Clip", [x, lo, hi])
+
+    def sigmoid(self, x: str) -> str:
+        return self.node("Sigmoid", [x])
+
+    def tanh(self, x: str) -> str:
+        return self.node("Tanh", [x])
+
+    def silu(self, x: str) -> str:
+        """SiLU/Swish exported the PyTorch way: ``Mul(x, Sigmoid(x))``."""
+        return self.node("Mul", [x, self.sigmoid(x)])
+
+    def hardswish(self, x: str) -> str:
+        return self.node("HardSwish", [x])
+
+    def gelu(self, x: str, decomposed: bool = True) -> str:
+        """GELU; by default the 5-node Erf decomposition PyTorch exports."""
+        if not decomposed:
+            return self.node("Gelu", [x])
+        inv_sqrt2 = self.scalar(1.0 / math.sqrt(2.0))
+        half = self.scalar(0.5)
+        scaled = self.node("Mul", [x, inv_sqrt2])
+        erf = self.node("Erf", [scaled])
+        one = self.scalar(1.0)
+        shifted = self.node("Add", [erf, one])
+        prod = self.node("Mul", [x, shifted])
+        return self.node("Mul", [prod, half])
+
+    def softmax(self, x: str, axis: int = -1) -> str:
+        return self.node("Softmax", [x], attrs={"axis": axis})
+
+    # ------------------------------------------------------------------
+    # linear algebra
+    # ------------------------------------------------------------------
+    def linear(self, x: str, out_features: int, bias: bool = True,
+               name: Optional[str] = None) -> str:
+        """Dense layer; 2-D inputs use Gemm, N-D use MatMul(+Add) like
+        the PyTorch exporter does."""
+        in_features = self.shape(x)[-1]
+        node_name = self._qualify(name) if name else self._fresh("Linear")
+        base = node_name.replace("/", ".")
+        if self.shape_info(x).rank == 2:
+            w = self.weight((in_features, out_features),
+                            name=f"{base}.weight", qualify=False)
+            inputs = [x, w]
+            if bias:
+                inputs.append(self.weight((out_features,),
+                                          name=f"{base}.bias", qualify=False))
+            return self.node("Gemm", inputs, attrs={"transB": 0},
+                             name=name, outputs=[f"{node_name}_out"])
+        w = self.weight((in_features, out_features),
+                        name=f"{base}.weight", qualify=False)
+        y = self.node("MatMul", [x, w], name=f"{name}/MatMul" if name else None)
+        if bias:
+            b = self.weight((out_features,), name=f"{base}.bias", qualify=False)
+            y = self.node("Add", [y, b], name=f"{name}/Add" if name else None)
+        return y
+
+    def matmul(self, a: str, b: str, name: Optional[str] = None) -> str:
+        return self.node("MatMul", [a, b], name=name)
+
+    def gemm(self, a: str, b: str, c: Optional[str] = None,
+             trans_a: bool = False, trans_b: bool = False) -> str:
+        inputs = [a, b] + ([c] if c else [])
+        return self.node("Gemm", inputs,
+                         attrs={"transA": int(trans_a), "transB": int(trans_b)})
+
+    # ------------------------------------------------------------------
+    # elementwise / shape ops
+    # ------------------------------------------------------------------
+    def add(self, a: str, b: str) -> str:
+        return self.node("Add", [a, b])
+
+    def sub(self, a: str, b: str) -> str:
+        return self.node("Sub", [a, b])
+
+    def mul(self, a: str, b: str) -> str:
+        return self.node("Mul", [a, b])
+
+    def div(self, a: str, b: str) -> str:
+        return self.node("Div", [a, b])
+
+    def mul_scalar(self, x: str, value: float) -> str:
+        return self.node("Mul", [x, self.scalar(value)])
+
+    def reshape(self, x: str, shape: Sequence[int]) -> str:
+        shape_const = self.constant(np.asarray(list(shape), dtype=np.int64))
+        return self.node("Reshape", [x, shape_const])
+
+    def transpose(self, x: str, perm: Sequence[int]) -> str:
+        return self.node("Transpose", [x], attrs={"perm": list(perm)})
+
+    def flatten(self, x: str, axis: int = 1) -> str:
+        return self.node("Flatten", [x], attrs={"axis": axis})
+
+    def concat(self, tensors: Sequence[str], axis: int) -> str:
+        return self.node("Concat", list(tensors), attrs={"axis": axis})
+
+    def split(self, x: str, parts: int, axis: int) -> List[str]:
+        out = self.node("Split", [x], attrs={"axis": axis}, n_outputs=parts)
+        return out if isinstance(out, list) else [out]
+
+    def slice(self, x: str, starts: Sequence[int], ends: Sequence[int],
+              axes: Optional[Sequence[int]] = None,
+              steps: Optional[Sequence[int]] = None) -> str:
+        inputs = [
+            x,
+            self.constant(np.asarray(list(starts), dtype=np.int64)),
+            self.constant(np.asarray(list(ends), dtype=np.int64)),
+        ]
+        if axes is not None:
+            inputs.append(self.constant(np.asarray(list(axes), dtype=np.int64)))
+            if steps is not None:
+                inputs.append(self.constant(np.asarray(list(steps), dtype=np.int64)))
+        return self.node("Slice", inputs)
+
+    def squeeze(self, x: str, axes: Sequence[int]) -> str:
+        return self.node("Squeeze", [x, self.constant(np.asarray(list(axes), np.int64))])
+
+    def unsqueeze(self, x: str, axes: Sequence[int]) -> str:
+        return self.node("Unsqueeze", [x, self.constant(np.asarray(list(axes), np.int64))])
+
+    def gather(self, data: str, indices: str, axis: int = 0) -> str:
+        return self.node("Gather", [data, indices], attrs={"axis": axis})
+
+    def embedding(self, indices: str, vocab: int, dim: int,
+                  name: Optional[str] = None) -> str:
+        table = self.weight((vocab, dim), name=name)
+        return self.node("Gather", [table, indices], attrs={"axis": 0})
+
+    def reduce_mean(self, x: str, axes: Sequence[int], keepdims: bool = True) -> str:
+        return self.node("ReduceMean", [x],
+                         attrs={"axes": list(axes), "keepdims": int(keepdims)})
+
+    def resize_nearest(self, x: str, scale: float) -> str:
+        info = self.shape_info(x)
+        scales = [1.0, 1.0] + [float(scale)] * (info.rank - 2)
+        return self.node("Resize", [x], attrs={"scales": scales, "mode": "nearest"})
+
+    def pad_spatial(self, x: str, pads: Sequence[int]) -> str:
+        """Pad H/W of an NCHW tensor: pads = (top, left, bottom, right)."""
+        t, l, b, r = pads
+        full = [0, 0, t, l, 0, 0, b, r]
+        return self.node("Pad", [x, self.constant(np.asarray(full, np.int64))])
+
+    def cast(self, x: str, dtype: DataType) -> str:
+        return self.node("Cast", [x], attrs={"to": dtype.value})
+
+    # ------------------------------------------------------------------
+    def finish(self, *outputs: str) -> Graph:
+        """Declare outputs (if given), validate, and return the graph."""
+        if outputs:
+            self.output(*outputs)
+        if not self.graph.outputs:
+            raise ValueError("graph has no outputs")
+        self.graph.value_info = dict(self._ctx.infos)
+        self.graph.validate()
+        return self.graph

@@ -1,0 +1,132 @@
+"""Graph nodes (operators) for the IR.
+
+A :class:`Node` corresponds to an ONNX ``NodeProto``: an operator type,
+named input/output tensors and a flat attribute dictionary.  Attribute
+values are restricted to JSON-representable types (plus numpy arrays for
+small constant payloads) so that graphs round-trip through the
+serializer losslessly.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Node", "AttrValue"]
+
+AttrValue = Any  # int | float | str | bool | list thereof | np.ndarray
+
+
+_SCALAR_ATTR_TYPES = (int, float, str, bool)
+
+
+def _validate_attr(name: str, value: AttrValue) -> AttrValue:
+    if isinstance(value, np.ndarray):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, _SCALAR_ATTR_TYPES):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [
+            v.item() if isinstance(v, np.generic) else v
+            for v in value
+            if isinstance(v, (_SCALAR_ATTR_TYPES, np.generic))
+            or _raise_attr(name, v)
+        ]
+    _raise_attr(name, value)
+
+
+def _raise_attr(name: str, value: Any) -> None:
+    raise TypeError(
+        f"attribute {name!r}: unsupported value type {type(value).__name__}"
+    )
+
+
+@dataclass
+class Node:
+    """One operator application in a graph.
+
+    ``inputs``/``outputs`` hold tensor *names*; an empty-string input
+    denotes an omitted optional input (ONNX convention).
+    """
+
+    op_type: str
+    inputs: List[str]
+    outputs: List[str]
+    name: str = ""
+    attrs: Dict[str, AttrValue] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.op_type:
+            raise ValueError("op_type must be non-empty")
+        self.inputs = [str(i) for i in self.inputs]
+        self.outputs = [str(o) for o in self.outputs]
+        if not self.outputs:
+            raise ValueError(f"node {self.name or self.op_type!r} has no outputs")
+        for out in self.outputs:
+            if not out:
+                raise ValueError(f"node {self.name!r}: empty output name")
+        self.attrs = {k: _validate_attr(k, v) for k, v in self.attrs.items()}
+
+    # -- attribute access -------------------------------------------------
+    def attr(self, key: str, default: AttrValue = None) -> AttrValue:
+        """Fetch an attribute with a default (like ``dict.get``)."""
+        return self.attrs.get(key, default)
+
+    def int_attr(self, key: str, default: int = 0) -> int:
+        return int(self.attrs.get(key, default))
+
+    def float_attr(self, key: str, default: float = 0.0) -> float:
+        return float(self.attrs.get(key, default))
+
+    def str_attr(self, key: str, default: str = "") -> str:
+        return str(self.attrs.get(key, default))
+
+    def ints_attr(self, key: str, default: Optional[Sequence[int]] = None) -> Tuple[int, ...]:
+        val = self.attrs.get(key, default)
+        if val is None:
+            return tuple()
+        if isinstance(val, np.ndarray):
+            return tuple(int(v) for v in val.tolist())
+        return tuple(int(v) for v in val)
+
+    # -- topology helpers --------------------------------------------------
+    @property
+    def present_inputs(self) -> List[str]:
+        """Inputs with omitted (empty-string) entries removed."""
+        return [i for i in self.inputs if i]
+
+    @property
+    def output(self) -> str:
+        """The single output (raises when the node has several)."""
+        if len(self.outputs) != 1:
+            raise ValueError(
+                f"node {self.name or self.op_type!r} has {len(self.outputs)} outputs"
+            )
+        return self.outputs[0]
+
+    def rename_tensor(self, old: str, new: str) -> None:
+        """Replace every occurrence of tensor ``old`` in inputs/outputs."""
+        self.inputs = [new if t == old else t for t in self.inputs]
+        self.outputs = [new if t == old else t for t in self.outputs]
+
+    def copy(self) -> "Node":
+        return Node(
+            op_type=self.op_type,
+            inputs=list(self.inputs),
+            outputs=list(self.outputs),
+            name=self.name,
+            attrs={
+                k: (v.copy() if isinstance(v, np.ndarray) else
+                    list(v) if isinstance(v, list) else v)
+                for k, v in self.attrs.items()
+            },
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name or '<anon>'}: {self.op_type}"
+            f"({', '.join(self.inputs)}) -> ({', '.join(self.outputs)})"
+        )

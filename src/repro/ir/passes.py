@@ -1,0 +1,275 @@
+"""Graph transformation passes.
+
+These are the *numeric* counterparts of the fusion planning in
+:mod:`repro.backends.optimizer`: where the planner only decides which
+ops share a backend layer, the passes here actually rewrite the graph —
+so the reference executor can validate that the optimizations runtimes
+perform are value-preserving:
+
+* :func:`fold_batchnorm` merges inference-mode BatchNorm into the
+  preceding convolution's weights and bias;
+* :func:`eliminate_identities` removes Identity/Dropout nodes;
+* :func:`eliminate_dead_nodes` drops nodes whose outputs are never
+  consumed;
+* :func:`fold_constants` pre-computes nodes whose inputs are all
+  initializers with data.
+
+All passes mutate a *copy* unless ``in_place=True`` and return the
+resulting graph.
+"""
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from .executor import _EXEC
+from .graph import Graph, GraphError
+from .node import Node
+from .shape_inference import infer_shapes
+from .tensor import DataType, Initializer, TensorInfo
+
+__all__ = ["fold_batchnorm", "eliminate_identities", "eliminate_dead_nodes",
+           "fold_constants", "optimize"]
+
+
+def _rename_consumers(graph: Graph, old: str, new: str) -> None:
+    """Point every consumer of ``old`` (and graph outputs) at ``new``."""
+    for node in graph.nodes:
+        node.inputs = [new if t == old else t for t in node.inputs]
+    graph.outputs = [t.with_name(new) if t.name == old else t
+                     for t in graph.outputs]
+    graph.invalidate()
+
+
+def fold_batchnorm(graph: Graph, in_place: bool = False) -> Graph:
+    """Fold ``Conv -> BatchNormalization`` pairs into the conv weights.
+
+    With BN statistics (scale γ, bias β, mean μ, var σ²) the folded
+    convolution uses ``W' = W · γ/√(σ²+ε)`` per output channel and
+    ``b' = (b − μ) · γ/√(σ²+ε) + β``.  Only applied when the conv's
+    output feeds exactly the BN.  Weights are materialized on demand.
+    """
+    g = graph if in_place else graph.copy()
+    changed = True
+    while changed:
+        changed = False
+        consumers = g.consumer_map()
+        for bn in list(g.nodes):
+            if bn.op_type != "BatchNormalization":
+                continue
+            producer = g.producer(bn.inputs[0])
+            if producer is None or producer.op_type != "Conv":
+                continue
+            if len(consumers.get(producer.outputs[0], [])) != 1:
+                continue
+            if producer.outputs[0] in g.output_names:
+                continue
+            if not all(g.is_initializer(t) for t in bn.inputs[1:5]):
+                continue
+            w_init = g.initializers[producer.inputs[1]]
+            gamma = g.initializers[bn.inputs[1]].materialize().astype(np.float64)
+            beta = g.initializers[bn.inputs[2]].materialize().astype(np.float64)
+            mean = g.initializers[bn.inputs[3]].materialize().astype(np.float64)
+            var = g.initializers[bn.inputs[4]].materialize().astype(np.float64)
+            eps = bn.float_attr("epsilon", 1e-5)
+            # the reference executor normalizes by sqrt(var^2 + eps) so
+            # lazily-materialized variances (which can be negative) stay
+            # safe; fold with the same convention
+            inv_std = gamma / np.sqrt(var ** 2 + eps)
+            w = w_init.materialize().astype(np.float64)
+            new_w = (w * inv_std.reshape(-1, 1, 1, 1)).astype(np.float32)
+            if len(producer.inputs) > 2 and producer.inputs[2]:
+                b = g.initializers[producer.inputs[2]].materialize().astype(np.float64)
+            else:
+                b = np.zeros(w.shape[0], dtype=np.float64)
+            new_b = ((b - mean) * inv_std + beta).astype(np.float32)
+            # install folded parameters under fresh names
+            w_name = f"{producer.inputs[1]}::folded"
+            b_name = f"{w_name}.bias"
+            g.add_initializer(Initializer(
+                TensorInfo(w_name, new_w.shape, DataType.FLOAT32), new_w))
+            g.add_initializer(Initializer(
+                TensorInfo(b_name, new_b.shape, DataType.FLOAT32), new_b))
+            producer.inputs = [producer.inputs[0], w_name, b_name]
+            # splice the BN out
+            g.remove_nodes([bn])
+            _rename_consumers(g, bn.outputs[0], producer.outputs[0])
+            changed = True
+            break
+    infer_shapes(g)
+    return g
+
+
+def eliminate_identities(graph: Graph, in_place: bool = False) -> Graph:
+    """Remove Identity and (inference-mode) Dropout nodes."""
+    g = graph if in_place else graph.copy()
+    for node in list(g.nodes):
+        if node.op_type not in ("Identity", "Dropout"):
+            continue
+        src = node.inputs[0]
+        dst = node.outputs[0]
+        g.remove_nodes([node])
+        if dst in g.output_names and (g.is_graph_input(src)
+                                      or g.is_initializer(src)):
+            # cannot alias a graph output directly onto an input; keep it
+            g.add_node(Node("Identity", [src], [dst], name=node.name))
+            continue
+        _rename_consumers(g, dst, src)
+    infer_shapes(g)
+    return g
+
+
+def eliminate_dead_nodes(graph: Graph, in_place: bool = False) -> Graph:
+    """Drop nodes that do not (transitively) contribute to any output."""
+    g = graph if in_place else graph.copy()
+    live: Set[str] = set(g.output_names)
+    order = g.toposort()
+    keep: List[Node] = []
+    for node in reversed(order):
+        if any(o in live for o in node.outputs):
+            keep.append(node)
+            live.update(node.present_inputs)
+    keep_ids = {id(n) for n in keep}
+    g.nodes = [n for n in g.nodes if id(n) in keep_ids]
+    g.invalidate()
+    return g
+
+
+#: never fold these even when constant (value is data-dependent noise)
+_NO_FOLD = {"RandomNormal", "RandomUniform"}
+
+
+def fold_constants(graph: Graph, in_place: bool = False,
+                   max_elements: int = 1 << 20) -> Graph:
+    """Execute nodes whose inputs are all data-carrying initializers and
+    replace them with constant initializers.
+
+    Results larger than ``max_elements`` stay unfolded (folding a giant
+    expanded weight would bloat the model file).
+    """
+    g = graph if in_place else graph.copy()
+    if not g.value_info:
+        infer_shapes(g)
+    changed = True
+    while changed:
+        changed = False
+        for node in g.toposort():
+            if node.op_type in _NO_FOLD or node.op_type not in _EXEC:
+                continue
+            inits = []
+            ok = True
+            for t in node.inputs:
+                if not t:
+                    inits.append(None)
+                    continue
+                init = g.initializers.get(t)
+                if init is None or init.is_virtual:
+                    ok = False
+                    break
+                inits.append(init.data)
+            if not ok or not node.inputs:
+                continue
+            out_elems = sum(g.tensor(o).numel for o in node.outputs)
+            if out_elems > max_elements:
+                continue
+            try:
+                results = _EXEC[node.op_type](node, inits)
+            except Exception:
+                continue
+            for out_name, value in zip(node.outputs, results):
+                value = np.asarray(value)
+                g.add_initializer(Initializer(
+                    TensorInfo(out_name, value.shape,
+                               DataType.from_numpy(value.dtype)),
+                    value))
+            g.remove_nodes([node])
+            changed = True
+            break
+    infer_shapes(g)
+    return g
+
+
+#: op types whose inputs get Q/DQ pairs under PTQ export
+_QUANTIZABLE = {"Conv", "MatMul", "Gemm"}
+
+
+def insert_qdq(graph: Graph, in_place: bool = False,
+               scale: float = 0.05) -> Graph:
+    """Insert QuantizeLinear/DequantizeLinear pairs around the weighted
+    ops, the way a post-training-quantization export does.
+
+    Every activation input of a Conv/MatMul/Gemm gets an explicit
+    ``x -> Q -> DQ -> op`` chain with a shared symmetric scale.  The
+    pattern is what int8-capable runtimes consume: they fold the Q/DQ
+    pairs into int8 kernels (see :func:`strip_qdq` for the simulation's
+    equivalent), while unquantized runtimes execute them as-is — the
+    reference executor really rounds through int8, so accuracy effects
+    are observable.
+    """
+    g = graph if in_place else graph.copy()
+    if not g.value_info:
+        infer_shapes(g)
+    counter = 0
+    new_nodes: List[Node] = []
+    scale_name = "qdq::scale"
+    zero_name = "qdq::zero_point"
+    g.add_initializer(Initializer(
+        TensorInfo(scale_name, (), DataType.FLOAT32),
+        np.asarray(scale, dtype=np.float32)))
+    g.add_initializer(Initializer(
+        TensorInfo(zero_name, (), DataType.INT8),
+        np.asarray(0, dtype=np.int8)))
+    for node in g.nodes:
+        if node.op_type in _QUANTIZABLE:
+            data_input = node.inputs[0]
+            if not g.is_initializer(data_input):
+                counter += 1
+                q_out = f"{data_input}::q{counter}"
+                dq_out = f"{data_input}::dq{counter}"
+                new_nodes.append(Node(
+                    "QuantizeLinear", [data_input, scale_name, zero_name],
+                    [q_out], name=f"QuantizeLinear_{counter}"))
+                new_nodes.append(Node(
+                    "DequantizeLinear", [q_out, scale_name, zero_name],
+                    [dq_out], name=f"DequantizeLinear_{counter}"))
+                node.inputs[0] = dq_out
+        new_nodes.append(node)
+    g.nodes = new_nodes
+    g.invalidate()
+    infer_shapes(g)
+    return g
+
+
+def strip_qdq(graph: Graph, in_place: bool = False) -> Graph:
+    """Remove Q/DQ pairs, wiring consumers back to the float tensor —
+    what an int8 runtime does when it replaces the pattern with int8
+    kernels (the compute then runs at the int8 peak, which the
+    backends model via ``precision=DataType.INT8``)."""
+    g = graph if in_place else graph.copy()
+    producers = g.producer_map()
+    doomed: List[Node] = []
+    for dq in list(g.nodes):
+        if dq.op_type != "DequantizeLinear":
+            continue
+        q = producers.get(dq.inputs[0])
+        if q is None or q.op_type != "QuantizeLinear":
+            continue
+        source = q.inputs[0]
+        doomed.extend([q, dq])
+        _rename_consumers(g, dq.outputs[0], source)
+    g.remove_nodes(doomed)
+    infer_shapes(g)
+    return g
+
+
+def optimize(graph: Graph) -> Graph:
+    """The standard pass pipeline runtimes apply before engine building."""
+    g = eliminate_identities(graph)
+    g = fold_constants(g)
+    g = fold_batchnorm(g, in_place=True)
+    g = eliminate_dead_nodes(g, in_place=True)
+    infer_shapes(g)
+    g.validate()
+    return g

@@ -1,0 +1,121 @@
+"""JSON (de)serialization of IR graphs — the reproduction's "ONNX file".
+
+The format is self-contained and versioned.  Constant payloads (shape
+vectors, clip bounds…) are stored inline as base64; *virtual* weight
+initializers store metadata only, which keeps even the Stable-Diffusion
+UNet model file at a few MB.
+"""
+from __future__ import annotations
+
+import base64
+import json
+import os
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from .graph import Graph
+from .node import Node
+from .tensor import DataType, Initializer, TensorInfo
+
+__all__ = ["to_json", "from_json", "save", "load", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def _info_to_json(t: TensorInfo) -> Dict[str, Any]:
+    return {"name": t.name, "shape": list(t.shape), "dtype": t.dtype.value}
+
+
+def _info_from_json(d: Dict[str, Any]) -> TensorInfo:
+    return TensorInfo(d["name"], tuple(d["shape"]), DataType(d["dtype"]))
+
+
+def _array_to_json(a: np.ndarray) -> Dict[str, Any]:
+    return {
+        "dtype": str(a.dtype),
+        "shape": list(a.shape),
+        "b64": base64.b64encode(np.ascontiguousarray(a).tobytes()).decode("ascii"),
+    }
+
+
+def _array_from_json(d: Dict[str, Any]) -> np.ndarray:
+    raw = base64.b64decode(d["b64"])
+    return np.frombuffer(raw, dtype=np.dtype(d["dtype"])).reshape(d["shape"]).copy()
+
+
+def _attr_to_json(v: Any) -> Any:
+    if isinstance(v, np.ndarray):
+        return {"__ndarray__": _array_to_json(v)}
+    return v
+
+
+def _attr_from_json(v: Any) -> Any:
+    if isinstance(v, dict) and "__ndarray__" in v:
+        return _array_from_json(v["__ndarray__"])
+    return v
+
+
+def to_json(graph: Graph) -> Dict[str, Any]:
+    """Serialize a graph to a JSON-compatible dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": graph.name,
+        "inputs": [_info_to_json(t) for t in graph.inputs],
+        "outputs": [_info_to_json(t) for t in graph.outputs],
+        "initializers": [
+            {
+                "info": _info_to_json(init.info),
+                "data": None if init.data is None else _array_to_json(init.data),
+            }
+            for init in graph.initializers.values()
+        ],
+        "nodes": [
+            {
+                "op_type": n.op_type,
+                "name": n.name,
+                "inputs": list(n.inputs),
+                "outputs": list(n.outputs),
+                "attrs": {k: _attr_to_json(v) for k, v in n.attrs.items()},
+            }
+            for n in graph.nodes
+        ],
+    }
+
+
+def from_json(doc: Dict[str, Any]) -> Graph:
+    """Deserialize a graph produced by :func:`to_json`."""
+    version = doc.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported model format version {version!r}")
+    g = Graph(
+        name=doc.get("name", "graph"),
+        inputs=[_info_from_json(t) for t in doc["inputs"]],
+        outputs=[_info_from_json(t) for t in doc["outputs"]],
+    )
+    for init_doc in doc["initializers"]:
+        info = _info_from_json(init_doc["info"])
+        data = None if init_doc["data"] is None else _array_from_json(init_doc["data"])
+        g.add_initializer(Initializer(info, data))
+    for nd in doc["nodes"]:
+        g.add_node(Node(
+            op_type=nd["op_type"],
+            inputs=nd["inputs"],
+            outputs=nd["outputs"],
+            name=nd.get("name", ""),
+            attrs={k: _attr_from_json(v) for k, v in nd.get("attrs", {}).items()},
+        ))
+    g.validate()
+    return g
+
+
+def save(graph: Graph, path: Union[str, os.PathLike]) -> None:
+    """Write a graph to a ``.json`` model file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_json(graph), fh)
+
+
+def load(path: Union[str, os.PathLike]) -> Graph:
+    """Read a graph from a ``.json`` model file (shapes not yet inferred)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return from_json(json.load(fh))

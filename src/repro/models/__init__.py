@@ -1,0 +1,35 @@
+"""The evaluation model zoo (paper Table 3) plus the peak-test model."""
+from .common import (channel_shuffle, classifier_head, conv_bn_act,
+                     make_divisible, mlp_block, multi_head_attention,
+                     patch_embed, se_block, transformer_block)
+from .resnet import resnet, resnet34, resnet50
+from .mobilenet import mobilenet_v2
+from .shufflenet import shufflenet_v2, shufflenet_v2_modified
+from .efficientnet import (efficientnet_b0, efficientnet_b4,
+                           efficientnet_v2_s, efficientnet_v2_t)
+from .vit import vit, vit_base, vit_small, vit_tiny
+from .swin import swin, swin_base, swin_small, swin_tiny
+from .mlp_mixer import mlp_mixer, mlp_mixer_b16
+from .bert import distilbert_base
+from .stable_diffusion import sd_unet, sd_unet_eval
+from .peaktest_model import (DEFAULT_COPY_MBYTES, DEFAULT_MATMUL_SIZES,
+                             peak_test_model)
+from .registry import (MODEL_ZOO, ModelEntry, build_model, cnn_models,
+                       model_entry, model_names, transformer_models)
+
+__all__ = [
+    "channel_shuffle", "classifier_head", "conv_bn_act", "make_divisible",
+    "mlp_block", "multi_head_attention", "patch_embed", "se_block",
+    "transformer_block",
+    "resnet", "resnet34", "resnet50", "mobilenet_v2",
+    "shufflenet_v2", "shufflenet_v2_modified",
+    "efficientnet_b0", "efficientnet_b4", "efficientnet_v2_s",
+    "efficientnet_v2_t",
+    "vit", "vit_base", "vit_small", "vit_tiny",
+    "swin", "swin_base", "swin_small", "swin_tiny",
+    "mlp_mixer", "mlp_mixer_b16", "distilbert_base",
+    "sd_unet", "sd_unet_eval",
+    "DEFAULT_COPY_MBYTES", "DEFAULT_MATMUL_SIZES", "peak_test_model",
+    "MODEL_ZOO", "ModelEntry", "build_model", "cnn_models", "model_entry",
+    "model_names", "transformer_models",
+]

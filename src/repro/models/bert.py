@@ -1,0 +1,52 @@
+"""DistilBERT base (Sanh et al., 2019 / Devlin et al., 2018) —
+Table 3 row #1.
+
+6 post-norm transformer layers, hidden 768, 12 heads, FFN 3072, over a
+WordPiece vocabulary of 30 522; ~67 M parameters.  The default sequence
+length of 512 puts the bs=1 FLOP in the neighbourhood of the paper's
+48.7 GFLOP (the paper does not state its sequence length).
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from ..ir.tensor import DataType
+from .common import mlp_block, multi_head_attention
+
+__all__ = ["distilbert_base"]
+
+
+def distilbert_base(batch_size: int = 1, seq_len: int = 512,
+                    vocab_size: int = 30522, hidden: int = 768,
+                    depth: int = 6, heads: int = 12,
+                    ffn: int = 3072) -> Graph:
+    """DistilBERT-base encoder ending in masked-LM-free pooled logits."""
+    b = GraphBuilder("distilbert-base")
+    ids = b.input("input_ids", (batch_size, seq_len), DataType.INT64)
+    with b.scope("embeddings"):
+        tok = b.embedding(ids, vocab_size, hidden, name="word_embeddings")
+        positions = b.constant(
+            np.arange(seq_len, dtype=np.int64), name="position_ids")
+        pos = b.embedding(positions, 512, hidden, name="position_embeddings")
+        x = b.add(tok, pos)
+        x = b.layernorm(x, name="LayerNorm")
+    for i in range(depth):
+        # DistilBERT is post-norm: sublayer -> residual -> LayerNorm
+        with b.scope(f"layer.{i}"):
+            attn = multi_head_attention(b, x, hidden, heads, name="attention")
+            x = b.add(x, attn)
+            x = b.layernorm(x, name="sa_layer_norm")
+            ff = mlp_block(b, x, ffn, name="ffn")
+            x = b.add(x, ff)
+            x = b.layernorm(x, name="output_layer_norm")
+    # sequence-classification style head on the [CLS] position
+    cls = b.slice(x, starts=[0], ends=[1], axes=[1])
+    cls = b.reshape(cls, (batch_size, hidden))
+    cls = b.linear(cls, hidden, name="pre_classifier")
+    cls = b.relu(cls)
+    y = b.linear(cls, 2, name="classifier")
+    return b.finish(y)

@@ -1,0 +1,155 @@
+"""Shared building blocks for the model zoo.
+
+These helpers emit the same graph patterns the PyTorch → ONNX exporter
+produces (fused-QKV attention with reshape/transpose plumbing, SiLU as
+``Mul(x, Sigmoid(x))``, GELU as the 5-node Erf decomposition, channel
+shuffle as Reshape→Transpose→Reshape), because PRoof's layer mapping
+has to cope with exactly those exported patterns.
+"""
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.builder import GraphBuilder
+
+__all__ = [
+    "conv_bn_act", "se_block", "classifier_head", "make_divisible",
+    "multi_head_attention", "mlp_block", "transformer_block",
+    "patch_embed", "channel_shuffle", "layernorm_mlp",
+]
+
+
+def make_divisible(value: float, divisor: int = 8,
+                   min_value: Optional[int] = None) -> int:
+    """Round a channel count the MobileNet way (never below 90%)."""
+    if min_value is None:
+        min_value = divisor
+    new_value = max(min_value, int(value + divisor / 2) // divisor * divisor)
+    if new_value < 0.9 * value:
+        new_value += divisor
+    return new_value
+
+
+def conv_bn_act(b: GraphBuilder, x: str, out_ch: int, kernel: int,
+                stride: int = 1, groups: int = 1, act: str = "relu",
+                name: Optional[str] = None, padding: Optional[int] = None) -> str:
+    """Conv (no bias — BN supplies it) + BatchNorm + activation."""
+    pad = padding if padding is not None else kernel // 2
+    y = b.conv(x, out_ch, kernel, stride, pad, groups=groups, bias=False,
+               name=name)
+    y = b.batchnorm(y, name=f"{name}.bn" if name else None)
+    if act == "relu":
+        y = b.relu(y)
+    elif act == "relu6":
+        y = b.relu6(y)
+    elif act == "silu":
+        y = b.silu(y)
+    elif act == "hardswish":
+        y = b.hardswish(y)
+    elif act == "none":
+        pass
+    else:
+        raise ValueError(f"unknown activation {act!r}")
+    return y
+
+
+def se_block(b: GraphBuilder, x: str, reduced_ch: int,
+              act: str = "silu", name: str = "se") -> str:
+    """Squeeze-and-Excitation: GAP → 1x1 reduce → act → 1x1 expand →
+    Sigmoid → channel-wise Mul."""
+    ch = b.shape(x)[1]
+    with b.scope(name):
+        s = b.global_avgpool(x)
+        s = b.pointwise_conv(s, reduced_ch, name="reduce")
+        s = b.silu(s) if act == "silu" else b.relu(s)
+        s = b.pointwise_conv(s, ch, name="expand")
+        s = b.sigmoid(s)
+    return b.mul(x, s)
+
+
+def classifier_head(b: GraphBuilder, x: str, num_classes: int = 1000,
+                    name: str = "classifier") -> str:
+    """GlobalAveragePool → Flatten → Linear, the standard CNN head."""
+    y = b.global_avgpool(x)
+    y = b.flatten(y)
+    return b.linear(y, num_classes, name=name)
+
+
+def channel_shuffle(b: GraphBuilder, x: str, groups: int = 2) -> str:
+    """ShuffleNet channel shuffle, exported PyTorch-style as
+    Reshape → Transpose → Reshape (the transpose is the expensive copy
+    the paper's §4.5 case study eliminates)."""
+    n, c, h, w = b.shape(x)
+    y = b.reshape(x, (n, groups, c // groups, h, w))
+    y = b.transpose(y, (0, 2, 1, 3, 4))
+    return b.reshape(y, (n, c, h, w))
+
+
+# ---------------------------------------------------------------------------
+# transformer primitives
+# ---------------------------------------------------------------------------
+def multi_head_attention(b: GraphBuilder, x: str, dim: int, num_heads: int,
+                         name: str = "attn") -> str:
+    """Fused-QKV self-attention as the PyTorch exporter lowers it."""
+    batch, seq, _ = b.shape(x)
+    head_dim = dim // num_heads
+    if head_dim * num_heads != dim:
+        raise ValueError(f"dim {dim} not divisible by heads {num_heads}")
+    with b.scope(name):
+        qkv = b.linear(x, 3 * dim, name="qkv")
+        qkv = b.reshape(qkv, (batch, seq, 3, num_heads, head_dim))
+        qkv = b.transpose(qkv, (2, 0, 3, 1, 4))   # (3, B, H, N, hd)
+        q, k, v = b.split(qkv, 3, axis=0)
+        q = b.squeeze(q, [0])
+        k = b.squeeze(k, [0])
+        v = b.squeeze(v, [0])
+        kt = b.transpose(k, (0, 1, 3, 2))
+        scores = b.matmul(q, kt, name="qk/MatMul")
+        scores = b.mul_scalar(scores, 1.0 / math.sqrt(head_dim))
+        probs = b.softmax(scores, axis=-1)
+        ctx = b.matmul(probs, v, name="av/MatMul")
+        ctx = b.transpose(ctx, (0, 2, 1, 3))
+        ctx = b.reshape(ctx, (batch, seq, dim))
+        return b.linear(ctx, dim, name="proj")
+
+
+def mlp_block(b: GraphBuilder, x: str, hidden: int,
+              name: str = "mlp", out_dim: Optional[int] = None) -> str:
+    """Linear → GELU → Linear feed-forward block."""
+    dim = b.shape(x)[-1]
+    with b.scope(name):
+        y = b.linear(x, hidden, name="fc1")
+        y = b.gelu(y)
+        return b.linear(y, out_dim or dim, name="fc2")
+
+
+def transformer_block(b: GraphBuilder, x: str, dim: int, num_heads: int,
+                      mlp_ratio: float = 4.0, name: str = "block") -> str:
+    """Pre-norm transformer encoder block (ViT/BERT-style)."""
+    with b.scope(name):
+        y = b.layernorm(x, name="norm1")
+        y = multi_head_attention(b, y, dim, num_heads, name="attn")
+        x = b.add(x, y)
+        y = b.layernorm(x, name="norm2")
+        y = mlp_block(b, y, int(dim * mlp_ratio), name="mlp")
+        return b.add(x, y)
+
+
+def patch_embed(b: GraphBuilder, x: str, patch: int, dim: int,
+                name: str = "patch_embed") -> str:
+    """Image → patch tokens: strided conv, flatten, transpose to (B,N,C)."""
+    with b.scope(name):
+        y = b.conv(x, dim, patch, stride=patch, padding=0, name="proj")
+        n, c, h, w = b.shape(y)
+        y = b.reshape(y, (n, c, h * w))
+        return b.transpose(y, (0, 2, 1))
+
+
+def layernorm_mlp(b: GraphBuilder, x: str, hidden: int,
+                  name: str = "mlp") -> str:
+    """LayerNorm followed by an MLP block, with residual handled by caller."""
+    y = b.layernorm(x, name=f"{name}.norm")
+    return mlp_block(b, y, hidden, name=name)

@@ -1,0 +1,171 @@
+"""EfficientNet B0/B4 (Tan & Le 2019) and EfficientNetV2-T/S (2021) —
+Table 3 rows #3–#6.
+
+The paper evaluates all CNNs at 224x224 (its B4 GFLOP matches the
+224-pixel compound-scaled width/depth, not the native 380-pixel
+resolution), so 224 is the default here too.
+
+EfficientNetV2 replaces early depthwise MBConv stages with *fused*
+MBConv (one dense 3x3) — the §4.4 insight: the replaced traditional
+convolution has higher arithmetic intensity and hardware efficiency
+(Figure 5(c) vs 5(d)).
+"""
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import classifier_head, conv_bn_act, make_divisible, se_block
+
+__all__ = ["efficientnet_b0", "efficientnet_b4",
+           "efficientnet_v2_t", "efficientnet_v2_s"]
+
+# B0 baseline: (expand, channels, repeats, stride, kernel)
+_B0_SETTINGS: List[Tuple[int, int, int, int, int]] = [
+    (1, 16, 1, 1, 3),
+    (6, 24, 2, 2, 3),
+    (6, 40, 2, 2, 5),
+    (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+]
+
+
+def _round_repeats(repeats: int, depth_mult: float) -> int:
+    return int(math.ceil(depth_mult * repeats))
+
+
+def _mbconv(b: GraphBuilder, x: str, out_ch: int, stride: int, expand: int,
+            kernel: int, se_ratio: float, name: str) -> str:
+    """MBConv: expand 1x1 → depthwise kxk → SE → project 1x1 (+residual)."""
+    in_ch = b.shape(x)[1]
+    hidden = in_ch * expand
+    with b.scope(name):
+        y = x
+        if expand != 1:
+            y = conv_bn_act(b, y, hidden, 1, 1, act="silu", name="expand",
+                            padding=0)
+        y = conv_bn_act(b, y, hidden, kernel, stride, groups=hidden,
+                        act="silu", name="depthwise")
+        if se_ratio > 0:
+            y = se_block(b, y, max(1, int(in_ch * se_ratio)), name="se")
+        y = conv_bn_act(b, y, out_ch, 1, 1, act="none", name="project",
+                        padding=0)
+        if stride == 1 and in_ch == out_ch:
+            y = b.add(x, y)
+        return y
+
+
+def _fused_mbconv(b: GraphBuilder, x: str, out_ch: int, stride: int,
+                  expand: int, kernel: int, name: str) -> str:
+    """Fused MBConv: one dense kxk expand conv → project 1x1 (+residual)."""
+    in_ch = b.shape(x)[1]
+    hidden = in_ch * expand
+    with b.scope(name):
+        if expand != 1:
+            y = conv_bn_act(b, x, hidden, kernel, stride, act="silu",
+                            name="expand")
+            y = conv_bn_act(b, y, out_ch, 1, 1, act="none", name="project",
+                            padding=0)
+        else:
+            y = conv_bn_act(b, x, out_ch, kernel, stride, act="silu",
+                            name="conv")
+        if stride == 1 and in_ch == out_ch:
+            y = b.add(x, y)
+        return y
+
+
+def _efficientnet_v1(name: str, width_mult: float, depth_mult: float,
+                     batch_size: int, image_size: int,
+                     num_classes: int) -> Graph:
+    b = GraphBuilder(name)
+    x = b.input("input", (batch_size, 3, image_size, image_size))
+    stem = make_divisible(32 * width_mult)
+    y = conv_bn_act(b, x, stem, 3, 2, act="silu", name="stem")
+    block = 0
+    for expand, ch, repeats, stride, kernel in _B0_SETTINGS:
+        out_ch = make_divisible(ch * width_mult)
+        for i in range(_round_repeats(repeats, depth_mult)):
+            y = _mbconv(b, y, out_ch, stride if i == 0 else 1, expand,
+                        kernel, se_ratio=0.25, name=f"block{block}")
+            block += 1
+    head = make_divisible(1280 * width_mult)
+    y = conv_bn_act(b, y, head, 1, 1, act="silu", name="head_conv", padding=0)
+    y = classifier_head(b, y, num_classes, name="classifier")
+    return b.finish(y)
+
+
+def efficientnet_b0(batch_size: int = 1, image_size: int = 224,
+                    num_classes: int = 1000) -> Graph:
+    """EfficientNet-B0: 5.3 M params, ~0.85 GFLOP at bs=1 (Table 3 #3)."""
+    return _efficientnet_v1("efficientnet-b0", 1.0, 1.0, batch_size,
+                            image_size, num_classes)
+
+
+def efficientnet_b4(batch_size: int = 1, image_size: int = 224,
+                    num_classes: int = 1000) -> Graph:
+    """EfficientNet-B4: 19.3 M params, ~3.2 GFLOP at 224 (Table 3 #4)."""
+    return _efficientnet_v1("efficientnet-b4", 1.4, 1.8, batch_size,
+                            image_size, num_classes)
+
+
+# (block kind, expand, channels, repeats, stride, se_ratio)
+_V2Spec = Tuple[str, int, int, int, int, float]
+
+_V2_T_SETTINGS: List[_V2Spec] = [
+    ("fused", 1, 24, 2, 1, 0.0),
+    ("fused", 4, 40, 4, 2, 0.0),
+    ("fused", 4, 48, 4, 2, 0.0),
+    ("mbconv", 4, 104, 6, 2, 0.25),
+    ("mbconv", 6, 128, 9, 1, 0.25),
+    ("mbconv", 6, 208, 14, 2, 0.25),
+]
+
+_V2_S_SETTINGS: List[_V2Spec] = [
+    ("fused", 1, 24, 2, 1, 0.0),
+    ("fused", 4, 48, 4, 2, 0.0),
+    ("fused", 4, 64, 4, 2, 0.0),
+    ("mbconv", 4, 128, 6, 2, 0.25),
+    ("mbconv", 6, 160, 9, 1, 0.25),
+    ("mbconv", 6, 256, 15, 2, 0.25),
+]
+
+
+def _efficientnet_v2(name: str, settings: List[_V2Spec], stem_ch: int,
+                     head_ch: int, batch_size: int, image_size: int,
+                     num_classes: int) -> Graph:
+    b = GraphBuilder(name)
+    x = b.input("input", (batch_size, 3, image_size, image_size))
+    y = conv_bn_act(b, x, stem_ch, 3, 2, act="silu", name="stem")
+    block = 0
+    for kind, expand, ch, repeats, stride, se_ratio in settings:
+        for i in range(repeats):
+            s = stride if i == 0 else 1
+            if kind == "fused":
+                y = _fused_mbconv(b, y, ch, s, expand, 3,
+                                  name=f"block{block}")
+            else:
+                y = _mbconv(b, y, ch, s, expand, 3, se_ratio,
+                            name=f"block{block}")
+            block += 1
+    y = conv_bn_act(b, y, head_ch, 1, 1, act="silu", name="head_conv",
+                    padding=0)
+    y = classifier_head(b, y, num_classes, name="classifier")
+    return b.finish(y)
+
+
+def efficientnet_v2_t(batch_size: int = 1, image_size: int = 224,
+                      num_classes: int = 1000) -> Graph:
+    """EfficientNetV2-T: 13.6 M params, ~3.9 GFLOP at bs=1 (Table 3 #5)."""
+    return _efficientnet_v2("efficientnetv2-t", _V2_T_SETTINGS, 24, 1024,
+                            batch_size, image_size, num_classes)
+
+
+def efficientnet_v2_s(batch_size: int = 1, image_size: int = 224,
+                      num_classes: int = 1000) -> Graph:
+    """EfficientNetV2-S: ~22–24 M params, ~6 GFLOP at bs=1 (Table 3 #6)."""
+    return _efficientnet_v2("efficientnetv2-s", _V2_S_SETTINGS, 24, 1280,
+                            batch_size, image_size, num_classes)

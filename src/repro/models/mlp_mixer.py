@@ -1,0 +1,42 @@
+"""MLP-Mixer B/16 (Tolstikhin et al., 2021) — Table 3 row #7."""
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import mlp_block, patch_embed
+
+__all__ = ["mlp_mixer_b16", "mlp_mixer"]
+
+
+def mlp_mixer(dim: int = 768, depth: int = 12, tokens_mlp: int = 384,
+              channels_mlp: int = 3072, batch_size: int = 1,
+              image_size: int = 224, patch: int = 16,
+              num_classes: int = 1000, name: str = "mlp-mixer") -> Graph:
+    """Generic Mixer: alternating token-mixing and channel-mixing MLPs."""
+    b = GraphBuilder(name)
+    x = b.input("input", (batch_size, 3, image_size, image_size))
+    tokens = patch_embed(b, x, patch, dim)          # (B, N, C)
+    n_tokens = (image_size // patch) ** 2
+    for i in range(depth):
+        with b.scope(f"blocks.{i}"):
+            # token mixing: LN, transpose to (B, C, N), MLP over tokens,
+            # transpose back, residual
+            y = b.layernorm(tokens, name="norm1")
+            y = b.transpose(y, (0, 2, 1))
+            y = mlp_block(b, y, tokens_mlp, name="token_mlp")
+            y = b.transpose(y, (0, 2, 1))
+            tokens = b.add(tokens, y)
+            # channel mixing
+            y = b.layernorm(tokens, name="norm2")
+            y = mlp_block(b, y, channels_mlp, name="channel_mlp")
+            tokens = b.add(tokens, y)
+    tokens = b.layernorm(tokens, name="norm")
+    pooled = b.reduce_mean(tokens, axes=[1], keepdims=False)
+    y = b.linear(pooled, num_classes, name="head")
+    return b.finish(y)
+
+
+def mlp_mixer_b16(batch_size: int = 1, image_size: int = 224) -> Graph:
+    """Mixer-B/16: 59.9 M params, ~25.4 GFLOP at bs=1 (Table 3 #7)."""
+    return mlp_mixer(batch_size=batch_size, image_size=image_size,
+                     name="mlp-mixer-b16")

@@ -1,0 +1,67 @@
+"""MobileNetV2 (Sandler et al., 2018) at width 0.5 / 1.0 — Table 3 #8/#9."""
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import conv_bn_act, make_divisible
+
+__all__ = ["mobilenet_v2"]
+
+# (expansion t, channels c, repeats n, stride s) — Table 2 of the paper
+_SETTINGS: List[Tuple[int, int, int, int]] = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _inverted_residual(b: GraphBuilder, x: str, out_ch: int, stride: int,
+                       expand: int, name: str) -> str:
+    """Expand (1x1) → depthwise (3x3) → project (1x1, linear), with a
+    residual when shapes allow."""
+    in_ch = b.shape(x)[1]
+    hidden = in_ch * expand
+    with b.scope(name):
+        y = x
+        if expand != 1:
+            y = conv_bn_act(b, y, hidden, 1, 1, act="relu6",
+                            name="expand", padding=0)
+        y = conv_bn_act(b, y, hidden, 3, stride, groups=hidden,
+                        act="relu6", name="depthwise")
+        y = conv_bn_act(b, y, out_ch, 1, 1, act="none",
+                        name="project", padding=0)
+        if stride == 1 and in_ch == out_ch:
+            y = b.add(x, y)
+        return y
+
+
+def mobilenet_v2(width_mult: float = 1.0, batch_size: int = 1,
+                 image_size: int = 224, num_classes: int = 1000) -> Graph:
+    """MobileNetV2: 3.5 M params / ~0.6 GFLOP at width 1.0 (Table 3 #9),
+    2.0 M / ~0.2 GFLOP at width 0.5 (#8)."""
+    suffix = f"{width_mult:g}".replace(".", "")
+    b = GraphBuilder(f"mobilenetv2-{width_mult:g}")
+    x = b.input("input", (batch_size, 3, image_size, image_size))
+    stem_ch = make_divisible(32 * width_mult)
+    y = conv_bn_act(b, x, stem_ch, 3, 2, act="relu6", name="stem")
+    block = 0
+    for t, c, n, s in _SETTINGS:
+        out_ch = make_divisible(c * width_mult)
+        for i in range(n):
+            y = _inverted_residual(b, y, out_ch, s if i == 0 else 1, t,
+                                   name=f"block{block}")
+            block += 1
+    # the final 1x1 conv keeps >= 1280 channels regardless of width
+    last_ch = make_divisible(1280 * max(1.0, width_mult))
+    y = conv_bn_act(b, y, last_ch, 1, 1, act="relu6", name="head_conv",
+                    padding=0)
+    y = b.global_avgpool(y)
+    y = b.flatten(y)
+    y = b.linear(y, num_classes, name="classifier")
+    return b.finish(y)

@@ -1,0 +1,56 @@
+"""The assembled pseudo model for roofline peak measurement (Table 6).
+
+The paper measures each platform's *achieved* roofline ceilings by
+running "an assembled pseudo ONNX model including a series of MatMul
+and memory copy operators of different sizes" through the runtime and
+taking the best attained FLOP/s and bandwidth.  This builder produces
+that model: square MatMuls from small to large (the large ones saturate
+the matrix units) and elementwise copy chains over big tensors (which
+saturate DRAM).
+
+All stages run off the same input so the graph stays a single
+component; every stage's output is reduced to a scalar-ish tensor and
+summed so nothing is dead code.
+"""
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+
+__all__ = ["peak_test_model", "DEFAULT_MATMUL_SIZES", "DEFAULT_COPY_MBYTES"]
+
+DEFAULT_MATMUL_SIZES: Sequence[int] = (256, 512, 1024, 2048, 4096)
+DEFAULT_COPY_MBYTES: Sequence[int] = (4, 16, 64, 256)
+
+
+def peak_test_model(matmul_sizes: Sequence[int] = DEFAULT_MATMUL_SIZES,
+                    copy_mbytes: Sequence[int] = DEFAULT_COPY_MBYTES) -> Graph:
+    """Build the peak-probe model."""
+    b = GraphBuilder("peak-test")
+    x = b.input("seed", (16, 16))
+    partials: List[str] = []
+    for n in matmul_sizes:
+        with b.scope(f"matmul_{n}"):
+            a = b.weight((n, n), name="A")
+            w = b.weight((n, n), name="B")
+            # tie to the graph input so the stage is not constant-folded
+            seed = b.reduce_mean(x, axes=[0, 1], keepdims=False)
+            seed = b.reshape(seed, (1, 1))
+            a_live = b.add(a, seed)
+            y = b.matmul(a_live, w, name="probe")
+            partials.append(b.reduce_mean(y, axes=[0, 1], keepdims=False))
+    for mb in copy_mbytes:
+        elems = mb * 1024 * 1024 // 4
+        rows = elems // 1024
+        with b.scope(f"copy_{mb}mb"):
+            big = b.weight((rows, 1024), name="buf")
+            seed = b.reduce_mean(x, axes=[0, 1], keepdims=False)
+            seed = b.reshape(seed, (1, 1))
+            moved = b.add(big, seed, )   # streaming read+write of the buffer
+            partials.append(b.reduce_mean(moved, axes=[0, 1], keepdims=False))
+    total = partials[0]
+    for p in partials[1:]:
+        total = b.add(total, p)
+    return b.finish(total)

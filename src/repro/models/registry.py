@@ -1,0 +1,135 @@
+"""Model registry: the paper's Table 3 zoo, keyed by row number.
+
+Each entry carries the builder plus the paper-reported reference values
+(ONNX nodes, params, GFLOP at bs=1) that EXPERIMENTS.md compares
+against.  ``build(batch_size)`` instantiates the graph at a batch size;
+transformer NLP models interpret the extra dimension as batch over the
+default sequence length.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ir.graph import Graph
+from .bert import distilbert_base
+from .efficientnet import (efficientnet_b0, efficientnet_b4,
+                           efficientnet_v2_s, efficientnet_v2_t)
+from .mlp_mixer import mlp_mixer_b16
+from .mobilenet import mobilenet_v2
+from .resnet import resnet34, resnet50
+from .shufflenet import shufflenet_v2, shufflenet_v2_modified
+from .stable_diffusion import sd_unet, sd_unet_eval
+from .swin import swin
+from .vit import vit
+
+__all__ = ["ModelEntry", "MODEL_ZOO", "model_entry", "build_model",
+           "model_names", "cnn_models", "transformer_models"]
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One Table 3 row."""
+
+    row: int                     # paper row number (Table 3 '#')
+    key: str                     # registry key, e.g. "resnet50"
+    paper_name: str              # name as printed in Table 3
+    model_type: str              # Trans. | Diffu. | CNN | MLP
+    builder: Callable[..., Graph]
+    paper_nodes: int
+    paper_params_m: float
+    paper_gflop: float
+    #: models the paper excludes from the edge/CPU sweep (§4.3)
+    edge_excluded: bool = False
+
+    def build(self, batch_size: int = 1, **kwargs) -> Graph:
+        return self.builder(batch_size=batch_size, **kwargs)
+
+
+def _sd_builder(batch_size: int = 1, latent_size: int = 128, **kwargs) -> Graph:
+    # Table 3 reports the UNet at the paper's evaluation latent (128x128,
+    # footnote 5): 4.75 TFLOP per image per iteration.
+    return sd_unet(batch_size=batch_size, latent_size=latent_size, **kwargs)
+
+
+MODEL_ZOO: Dict[str, ModelEntry] = {
+    e.key: e for e in [
+        ModelEntry(1, "distilbert", "DistilBERT base", "Trans.",
+                   distilbert_base, 435, 67.0, 48.718, edge_excluded=True),
+        ModelEntry(2, "sd-unet", "Stable Diffusion", "Diffu.",
+                   _sd_builder, 5343, 859.5, 4747.726, edge_excluded=True),
+        ModelEntry(3, "efficientnet-b0", "EfficientNet B0", "CNN",
+                   efficientnet_b0, 239, 5.3, 0.851),
+        ModelEntry(4, "efficientnet-b4", "EfficientNet B4", "CNN",
+                   efficientnet_b4, 476, 19.3, 3.209),
+        ModelEntry(5, "efficientnetv2-t", "EfficientNetV2-T", "CNN",
+                   efficientnet_v2_t, 487, 13.6, 3.939),
+        ModelEntry(6, "efficientnetv2-s", "EfficientNetV2-S", "CNN",
+                   efficientnet_v2_s, 504, 23.9, 6.030),
+        ModelEntry(7, "mlp-mixer-b16", "MLP-Mixer (B16)", "MLP",
+                   mlp_mixer_b16, 497, 59.9, 25.403, edge_excluded=True),
+        ModelEntry(8, "mobilenetv2-05", "MobileNetV2 0.5", "CNN",
+                   lambda batch_size=1, **kw: mobilenet_v2(0.5, batch_size, **kw),
+                   100, 2.0, 0.205),
+        ModelEntry(9, "mobilenetv2-10", "MobileNetV2 1.0", "CNN",
+                   lambda batch_size=1, **kw: mobilenet_v2(1.0, batch_size, **kw),
+                   100, 3.5, 0.621),
+        ModelEntry(10, "resnet34", "ResNet-34", "CNN",
+                   resnet34, 89, 21.8, 7.338),
+        ModelEntry(11, "resnet50", "ResNet-50", "CNN",
+                   resnet50, 122, 25.5, 8.207),
+        ModelEntry(12, "shufflenetv2-05", "ShuffleNetV2 x0.5", "CNN",
+                   lambda batch_size=1, **kw: shufflenet_v2(0.5, batch_size, **kw),
+                   584, 1.4, 0.084),
+        ModelEntry(13, "shufflenetv2-10", "ShuffleNetV2 x1.0", "CNN",
+                   lambda batch_size=1, **kw: shufflenet_v2(1.0, batch_size, **kw),
+                   584, 2.3, 0.294),
+        ModelEntry(14, "shufflenetv2-10-mod", "Shuf. v2 x1.0 mod", "CNN",
+                   lambda batch_size=1, **kw: shufflenet_v2_modified(1.0, batch_size, **kw),
+                   156, 2.8, 0.434),
+        ModelEntry(15, "swin-tiny", "Swin tiny", "Trans.",
+                   lambda batch_size=1, **kw: swin("tiny", batch_size, **kw),
+                   1465, 28.8, 9.133, edge_excluded=True),
+        ModelEntry(16, "swin-small", "Swin small", "Trans.",
+                   lambda batch_size=1, **kw: swin("small", batch_size, **kw),
+                   2839, 50.5, 17.723, edge_excluded=True),
+        ModelEntry(17, "swin-base", "Swin base", "Trans.",
+                   lambda batch_size=1, **kw: swin("base", batch_size, **kw),
+                   2839, 88.9, 31.183, edge_excluded=True),
+        ModelEntry(18, "vit-tiny", "ViT tiny", "Trans.",
+                   lambda batch_size=1, **kw: vit("tiny", batch_size, **kw),
+                   786, 5.7, 2.558, edge_excluded=True),
+        ModelEntry(19, "vit-small", "ViT small", "Trans.",
+                   lambda batch_size=1, **kw: vit("small", batch_size, **kw),
+                   786, 22.1, 9.298, edge_excluded=True),
+        ModelEntry(20, "vit-base", "ViT base", "Trans.",
+                   lambda batch_size=1, **kw: vit("base", batch_size, **kw),
+                   786, 86.6, 35.329, edge_excluded=True),
+    ]
+}
+
+
+def model_entry(key: str) -> ModelEntry:
+    """Look up a zoo entry by key (raises with the available keys)."""
+    norm = key.strip().lower()
+    if norm not in MODEL_ZOO:
+        raise KeyError(
+            f"unknown model {key!r}; available: {', '.join(MODEL_ZOO)}")
+    return MODEL_ZOO[norm]
+
+
+def build_model(key: str, batch_size: int = 1, **kwargs) -> Graph:
+    """Instantiate a zoo model at a batch size."""
+    return model_entry(key).build(batch_size=batch_size, **kwargs)
+
+
+def model_names() -> List[str]:
+    return list(MODEL_ZOO)
+
+
+def cnn_models() -> List[ModelEntry]:
+    return [e for e in MODEL_ZOO.values() if e.model_type == "CNN"]
+
+
+def transformer_models() -> List[ModelEntry]:
+    return [e for e in MODEL_ZOO.values() if e.model_type == "Trans."]

@@ -1,0 +1,77 @@
+"""ResNet-34 and ResNet-50 (He et al., 2016) — Table 3 rows #10/#11."""
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import classifier_head, conv_bn_act
+
+__all__ = ["resnet34", "resnet50", "resnet"]
+
+
+def _basic_block(b: GraphBuilder, x: str, out_ch: int, stride: int,
+                 name: str) -> str:
+    """Two 3x3 convs with identity/projection shortcut."""
+    in_ch = b.shape(x)[1]
+    with b.scope(name):
+        y = conv_bn_act(b, x, out_ch, 3, stride, name="conv1")
+        y = conv_bn_act(b, y, out_ch, 3, 1, act="none", name="conv2")
+        if stride != 1 or in_ch != out_ch:
+            shortcut = conv_bn_act(b, x, out_ch, 1, stride, act="none",
+                                   name="downsample", padding=0)
+        else:
+            shortcut = x
+        y = b.add(y, shortcut)
+        return b.relu(y)
+
+
+def _bottleneck(b: GraphBuilder, x: str, mid_ch: int, stride: int,
+                name: str) -> str:
+    """1x1 reduce → 3x3 → 1x1 expand (x4) with shortcut."""
+    in_ch = b.shape(x)[1]
+    out_ch = mid_ch * 4
+    with b.scope(name):
+        y = conv_bn_act(b, x, mid_ch, 1, 1, name="conv1", padding=0)
+        y = conv_bn_act(b, y, mid_ch, 3, stride, name="conv2")
+        y = conv_bn_act(b, y, out_ch, 1, 1, act="none", name="conv3", padding=0)
+        if stride != 1 or in_ch != out_ch:
+            shortcut = conv_bn_act(b, x, out_ch, 1, stride, act="none",
+                                   name="downsample", padding=0)
+        else:
+            shortcut = x
+        y = b.add(y, shortcut)
+        return b.relu(y)
+
+
+def resnet(depths: Sequence[int], bottleneck: bool,
+           batch_size: int = 1, image_size: int = 224,
+           num_classes: int = 1000, name: str = "resnet") -> Graph:
+    """Generic ResNet; ``depths`` gives blocks per stage."""
+    b = GraphBuilder(name)
+    x = b.input("input", (batch_size, 3, image_size, image_size))
+    y = conv_bn_act(b, x, 64, 7, 2, name="stem")
+    y = b.maxpool(y, 3, 2, 1)
+    widths = [64, 128, 256, 512]
+    for stage, (width, depth) in enumerate(zip(widths, depths)):
+        for i in range(depth):
+            stride = 2 if stage > 0 and i == 0 else 1
+            block_name = f"layer{stage + 1}.{i}"
+            if bottleneck:
+                y = _bottleneck(b, y, width, stride, block_name)
+            else:
+                y = _basic_block(b, y, width, stride, block_name)
+    y = classifier_head(b, y, num_classes, name="fc")
+    return b.finish(y)
+
+
+def resnet34(batch_size: int = 1, image_size: int = 224) -> Graph:
+    """ResNet-34: 21.8 M params, ~7.3 GFLOP at bs=1 (Table 3 #10)."""
+    return resnet([3, 4, 6, 3], bottleneck=False, batch_size=batch_size,
+                  image_size=image_size, name="resnet34")
+
+
+def resnet50(batch_size: int = 1, image_size: int = 224) -> Graph:
+    """ResNet-50: 25.5 M params, ~8.2 GFLOP at bs=1 (Table 3 #11)."""
+    return resnet([3, 4, 6, 3], bottleneck=True, batch_size=batch_size,
+                  image_size=image_size, name="resnet50")

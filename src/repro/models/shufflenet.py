@@ -1,0 +1,109 @@
+"""ShuffleNetV2 (Ma et al., 2018) — Table 3 #12/#13 — and the paper's
+modified variant (#14, §4.5 / Figure 7).
+
+The channel Shuffle operation exports as Reshape → Transpose → Reshape;
+the Transpose plus the Split/Concat data copies are what dominate the
+original model's latency on the A100 (Figure 6a).  The modified variant
+removes the Shuffle: non-downsampling blocks run their pointwise convs
+over *all* channels (doubled in/out channels) and add a residual
+connection instead (Figure 7), trading extra FLOP for far less memory
+movement.
+"""
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import channel_shuffle, classifier_head, conv_bn_act
+
+__all__ = ["shufflenet_v2", "shufflenet_v2_modified"]
+
+_STAGE_REPEATS = [4, 8, 4]
+
+_STAGE_CHANNELS: Dict[float, List[int]] = {
+    0.5: [24, 48, 96, 192, 1024],
+    1.0: [24, 116, 232, 464, 1024],
+    1.5: [24, 176, 352, 704, 1024],
+    2.0: [24, 244, 488, 976, 2048],
+}
+
+
+def _basic_unit(b: GraphBuilder, x: str, name: str) -> str:
+    """Non-downsampling unit: split, transform half, concat, shuffle."""
+    c = b.shape(x)[1]
+    half = c // 2
+    with b.scope(name):
+        left, right = b.split(x, 2, axis=1)
+        y = conv_bn_act(b, right, half, 1, 1, name="pw1", padding=0)
+        y = conv_bn_act(b, y, half, 3, 1, groups=half, act="none", name="dw")
+        y = conv_bn_act(b, y, half, 1, 1, name="pw2", padding=0)
+        y = b.concat([left, y], axis=1)
+        return channel_shuffle(b, y, 2)
+
+
+def _down_unit(b: GraphBuilder, x: str, out_ch: int, name: str) -> str:
+    """Stride-2 unit: both branches transform, concat, shuffle."""
+    in_ch = b.shape(x)[1]
+    branch_ch = out_ch // 2
+    with b.scope(name):
+        with b.scope("left"):
+            l = conv_bn_act(b, x, in_ch, 3, 2, groups=in_ch, act="none",
+                            name="dw")
+            l = conv_bn_act(b, l, branch_ch, 1, 1, name="pw", padding=0)
+        with b.scope("right"):
+            r = conv_bn_act(b, x, branch_ch, 1, 1, name="pw1", padding=0)
+            r = conv_bn_act(b, r, branch_ch, 3, 2, groups=branch_ch,
+                            act="none", name="dw")
+            r = conv_bn_act(b, r, branch_ch, 1, 1, name="pw2", padding=0)
+        y = b.concat([l, r], axis=1)
+        return channel_shuffle(b, y, 2)
+
+
+def _modified_basic_unit(b: GraphBuilder, x: str, name: str) -> str:
+    """The paper's Figure 7 block: no split/shuffle; the first pointwise
+    conv reads *all* channels (doubled input) and the last one writes
+    all channels (doubled output), the depthwise transform stays on the
+    half-width trunk, and a residual Add replaces the implicit identity
+    path of the original Shuffle."""
+    c = b.shape(x)[1]
+    half = c // 2
+    with b.scope(name):
+        y = conv_bn_act(b, x, half, 1, 1, name="pw1", padding=0)
+        y = conv_bn_act(b, y, half, 3, 1, groups=half, act="none", name="dw")
+        y = conv_bn_act(b, y, c, 1, 1, name="pw2", padding=0)
+        return b.add(x, y)
+
+
+def _build(name: str, width: float, basic_unit, batch_size: int,
+           image_size: int, num_classes: int) -> Graph:
+    channels = _STAGE_CHANNELS[width]
+    b = GraphBuilder(name)
+    x = b.input("input", (batch_size, 3, image_size, image_size))
+    y = conv_bn_act(b, x, channels[0], 3, 2, name="stem")
+    y = b.maxpool(y, 3, 2, 1)
+    for stage, repeats in enumerate(_STAGE_REPEATS):
+        out_ch = channels[stage + 1]
+        y = _down_unit(b, y, out_ch, name=f"stage{stage + 2}.0")
+        for i in range(1, repeats):
+            y = basic_unit(b, y, name=f"stage{stage + 2}.{i}")
+    y = conv_bn_act(b, y, channels[-1], 1, 1, name="conv5", padding=0)
+    y = classifier_head(b, y, num_classes, name="fc")
+    return b.finish(y)
+
+
+def shufflenet_v2(width: float = 1.0, batch_size: int = 1,
+                  image_size: int = 224, num_classes: int = 1000) -> Graph:
+    """ShuffleNetV2: 2.3 M params / ~0.29 GFLOP at x1.0 (Table 3 #13),
+    1.4 M / ~0.08 GFLOP at x0.5 (#12)."""
+    return _build(f"shufflenetv2-x{width:g}", width, _basic_unit,
+                  batch_size, image_size, num_classes)
+
+
+def shufflenet_v2_modified(width: float = 1.0, batch_size: int = 1,
+                           image_size: int = 224,
+                           num_classes: int = 1000) -> Graph:
+    """The §4.5 modified ShuffleNetV2 x1.0: 2.8 M params / ~0.43 GFLOP
+    (Table 3 #14) — higher FLOP, far fewer transpose/copy layers."""
+    return _build(f"shufflenetv2-x{width:g}-mod", width,
+                  _modified_basic_unit, batch_size, image_size, num_classes)

@@ -1,0 +1,172 @@
+"""Stable Diffusion v1.x UNet (Rombach et al., 2022) — Table 3 row #2.
+
+A faithful graph of the 860 M-parameter denoising UNet: ResBlocks with
+GroupNorm/SiLU and timestep-embedding injection, SpatialTransformer
+blocks with self- plus cross-attention over the 77-token text context
+and GEGLU feed-forwards, skip-connection concats, and nearest-neighbour
+upsampling.
+
+Substitution note (DESIGN.md): the sinusoidal timestep featurization is
+supplied as a graph *input* (shape ``(B, 320)``) instead of the Sin/Cos
+subgraph the ONNX export contains — it contributes O(B·320) work, far
+below anything the profiler can resolve.  The paper runs one UNet
+iteration at latent 128x128 with batch 4 (footnote 5); those are the
+defaults of :func:`sd_unet_eval`.
+"""
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import mlp_block
+
+__all__ = ["sd_unet", "sd_unet_eval"]
+
+_MODEL_CH = 320
+_MULTS = (1, 2, 4, 4)
+_NUM_RES_BLOCKS = 2
+_ATTENTION_LEVELS = (0, 1, 2)   # ds 1, 2, 4
+_CONTEXT_DIM = 768
+_CONTEXT_LEN = 77
+_HEADS = 8
+_TIME_EMB = _MODEL_CH * 4
+
+
+def _group_norm_silu(b: GraphBuilder, x: str, name: str) -> str:
+    y = b.groupnorm(x, 32, name=name)
+    return b.silu(y)
+
+
+def _res_block(b: GraphBuilder, x: str, emb: str, out_ch: int,
+               name: str) -> str:
+    in_ch = b.shape(x)[1]
+    with b.scope(name):
+        h = _group_norm_silu(b, x, "in_norm")
+        h = b.conv(h, out_ch, 3, 1, 1, name="in_conv")
+        # timestep embedding: SiLU -> Linear -> broadcast add over H, W
+        e = b.silu(emb)
+        e = b.linear(e, out_ch, name="emb_proj")
+        e = b.reshape(e, (b.shape(e)[0], out_ch, 1, 1))
+        h = b.add(h, e)
+        h = _group_norm_silu(b, h, "out_norm")
+        h = b.conv(h, out_ch, 3, 1, 1, name="out_conv")
+        skip = x if in_ch == out_ch else b.conv(x, out_ch, 1, 1, 0,
+                                                name="skip_conv")
+        return b.add(h, skip)
+
+
+def _cross_attention(b: GraphBuilder, x: str, kv: str, dim: int,
+                     name: str) -> str:
+    """Attention with separate query and key/value streams (kv may be
+    the text context or x itself for self-attention)."""
+    batch, q_len, _ = b.shape(x)
+    kv_len = b.shape(kv)[1]
+    head_dim = dim // _HEADS
+    with b.scope(name):
+        q = b.linear(x, dim, bias=False, name="to_q")
+        k = b.linear(kv, dim, bias=False, name="to_k")
+        v = b.linear(kv, dim, bias=False, name="to_v")
+        q = b.reshape(q, (batch, q_len, _HEADS, head_dim))
+        q = b.transpose(q, (0, 2, 1, 3))
+        k = b.reshape(k, (batch, kv_len, _HEADS, head_dim))
+        k = b.transpose(k, (0, 2, 3, 1))
+        v = b.reshape(v, (batch, kv_len, _HEADS, head_dim))
+        v = b.transpose(v, (0, 2, 1, 3))
+        scores = b.matmul(q, k, name="qk/MatMul")
+        scores = b.mul_scalar(scores, 1.0 / math.sqrt(head_dim))
+        probs = b.softmax(scores, axis=-1)
+        ctx = b.matmul(probs, v, name="av/MatMul")
+        ctx = b.transpose(ctx, (0, 2, 1, 3))
+        ctx = b.reshape(ctx, (batch, q_len, dim))
+        return b.linear(ctx, dim, name="to_out")
+
+
+def _geglu_ff(b: GraphBuilder, x: str, dim: int, name: str) -> str:
+    """GEGLU feed-forward: Linear to 8·dim, split, GELU-gate, project."""
+    with b.scope(name):
+        y = b.linear(x, dim * 8, name="proj_in")
+        val, gate = b.split(y, 2, axis=-1)
+        gate = b.gelu(gate)
+        y = b.mul(val, gate)
+        return b.linear(y, dim, name="proj_out")
+
+
+def _spatial_transformer(b: GraphBuilder, x: str, context: str,
+                         name: str) -> str:
+    n, c, h, w = b.shape(x)
+    with b.scope(name):
+        y = b.groupnorm(x, 32, name="norm")
+        y = b.conv(y, c, 1, 1, 0, name="proj_in")
+        y = b.reshape(y, (n, c, h * w))
+        y = b.transpose(y, (0, 2, 1))
+        # BasicTransformerBlock
+        z = b.layernorm(y, name="norm1")
+        y = b.add(y, _cross_attention(b, z, z, c, "attn1"))
+        z = b.layernorm(y, name="norm2")
+        y = b.add(y, _cross_attention(b, z, context, c, "attn2"))
+        z = b.layernorm(y, name="norm3")
+        y = b.add(y, _geglu_ff(b, z, c, "ff"))
+        y = b.transpose(y, (0, 2, 1))
+        y = b.reshape(y, (n, c, h, w))
+        y = b.conv(y, c, 1, 1, 0, name="proj_out")
+        return b.add(x, y)
+
+
+def sd_unet(batch_size: int = 1, latent_size: int = 64) -> Graph:
+    """The SD v1.x denoising UNet: ~860 M params (Table 3 #2)."""
+    b = GraphBuilder("stable-diffusion-unet")
+    x = b.input("latent", (batch_size, 4, latent_size, latent_size))
+    t_feat = b.input("t_embed", (batch_size, _MODEL_CH))
+    context = b.input("context", (batch_size, _CONTEXT_LEN, _CONTEXT_DIM))
+    with b.scope("time_embed"):
+        emb = b.linear(t_feat, _TIME_EMB, name="linear_1")
+        emb = b.silu(emb)
+        emb = b.linear(emb, _TIME_EMB, name="linear_2")
+
+    skips: List[str] = []
+    h = b.conv(x, _MODEL_CH, 3, 1, 1, name="conv_in")
+    skips.append(h)
+    ch = _MODEL_CH
+    # --- encoder -------------------------------------------------------
+    for level, mult in enumerate(_MULTS):
+        out_ch = _MODEL_CH * mult
+        for i in range(_NUM_RES_BLOCKS):
+            h = _res_block(b, h, emb, out_ch,
+                           name=f"down.{level}.res.{i}")
+            if level in _ATTENTION_LEVELS:
+                h = _spatial_transformer(b, h, context,
+                                         name=f"down.{level}.attn.{i}")
+            skips.append(h)
+            ch = out_ch
+        if level < len(_MULTS) - 1:
+            h = b.conv(h, ch, 3, 2, 1, name=f"down.{level}.downsample")
+            skips.append(h)
+    # --- middle --------------------------------------------------------
+    h = _res_block(b, h, emb, ch, name="mid.res.0")
+    h = _spatial_transformer(b, h, context, name="mid.attn")
+    h = _res_block(b, h, emb, ch, name="mid.res.1")
+    # --- decoder -------------------------------------------------------
+    for level, mult in reversed(list(enumerate(_MULTS))):
+        out_ch = _MODEL_CH * mult
+        for i in range(_NUM_RES_BLOCKS + 1):
+            skip = skips.pop()
+            h = b.concat([h, skip], axis=1)
+            h = _res_block(b, h, emb, out_ch, name=f"up.{level}.res.{i}")
+            if level in _ATTENTION_LEVELS:
+                h = _spatial_transformer(b, h, context,
+                                         name=f"up.{level}.attn.{i}")
+        if level > 0:
+            h = b.resize_nearest(h, 2.0)
+            h = b.conv(h, out_ch, 3, 1, 1, name=f"up.{level}.upsample")
+    assert not skips, "skip-connection bookkeeping is unbalanced"
+    h = _group_norm_silu(b, h, "out_norm")
+    out = b.conv(h, 4, 3, 1, 1, name="conv_out")
+    return b.finish(out)
+
+
+def sd_unet_eval(batch_size: int = 4, latent_size: int = 128) -> Graph:
+    """The paper's evaluation configuration (footnote 5): one UNet
+    iteration at latent 128x128 with batch size 4."""
+    return sd_unet(batch_size=batch_size, latent_size=latent_size)

@@ -1,0 +1,55 @@
+"""Vision Transformer (Dosovitskiy et al., 2021) — Table 3 rows #18–#20."""
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import patch_embed, transformer_block
+
+__all__ = ["vit", "vit_tiny", "vit_small", "vit_base"]
+
+_CONFIGS = {
+    "tiny": dict(dim=192, depth=12, heads=3),
+    "small": dict(dim=384, depth=12, heads=6),
+    "base": dict(dim=768, depth=12, heads=12),
+}
+
+
+def vit(variant: str = "tiny", batch_size: int = 1, image_size: int = 224,
+        patch: int = 16, num_classes: int = 1000) -> Graph:
+    """ViT-{tiny,small,base}/16: 5.7 / 22.1 / 86.6 M params (Table 3)."""
+    cfg = _CONFIGS[variant]
+    dim, depth, heads = cfg["dim"], cfg["depth"], cfg["heads"]
+    b = GraphBuilder(f"vit-{variant}")
+    x = b.input("input", (batch_size, 3, image_size, image_size))
+    tokens = patch_embed(b, x, patch, dim)
+    n_patches = (image_size // patch) ** 2
+    # class token: broadcast-concat, exported as Expand + Concat
+    import numpy as np
+    cls = b.weight((1, 1, dim), name="cls_token")
+    target = b.constant(np.asarray([batch_size, 1, dim], dtype=np.int64),
+                        name="cls_expand_shape")
+    cls_b = b.node("Expand", [cls, target])
+    tokens = b.concat([cls_b, tokens], axis=1)
+    pos = b.weight((1, n_patches + 1, dim), name="pos_embed")
+    tokens = b.add(tokens, pos)
+    for i in range(depth):
+        tokens = transformer_block(b, tokens, dim, heads, 4.0,
+                                   name=f"blocks.{i}")
+    tokens = b.layernorm(tokens, name="norm")
+    # classify on the class token
+    cls_tok = b.slice(tokens, starts=[0], ends=[1], axes=[1])
+    cls_tok = b.reshape(cls_tok, (batch_size, dim))
+    y = b.linear(cls_tok, num_classes, name="head")
+    return b.finish(y)
+
+
+def vit_tiny(batch_size: int = 1, image_size: int = 224) -> Graph:
+    return vit("tiny", batch_size, image_size)
+
+
+def vit_small(batch_size: int = 1, image_size: int = 224) -> Graph:
+    return vit("small", batch_size, image_size)
+
+
+def vit_base(batch_size: int = 1, image_size: int = 224) -> Graph:
+    return vit("base", batch_size, image_size)

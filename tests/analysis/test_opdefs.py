@@ -1,0 +1,188 @@
+"""Operator-define tests: FLOP and memory rules (paper §3.2.1, Eq. 1)."""
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.opdefs import (OpClass, OpCost, classify, cost_of,
+                                   gemm_dims, operator_def)
+from repro.ir.builder import GraphBuilder
+from repro.ir.tensor import DataType
+
+
+def build_and_cost(construct, precision=DataType.FLOAT32):
+    """Helper: build via GraphBuilder, return (graph, node, cost)."""
+    b = GraphBuilder("t")
+    node_out = construct(b)
+    g = b.finish(node_out)
+    node = g.producer(node_out)
+    return g, node, cost_of(node, g.tensor, precision)
+
+
+class TestConvCosts:
+    def test_conv_flop_formula(self):
+        # 2 * N*Cout*OH*OW * (Cin/g)*kh*kw + bias
+        g, node, cost = build_and_cost(
+            lambda b: b.conv(b.input("x", (2, 3, 16, 16)), 8, 3, padding=1))
+        macs = 2 * 8 * 16 * 16 * 3 * 3 * 3
+        assert cost.flop == 2 * macs + 2 * 8 * 16 * 16
+
+    def test_depthwise_flop(self):
+        g, node, cost = build_and_cost(
+            lambda b: b.depthwise_conv(b.input("x", (1, 16, 8, 8)), 3,
+                                       padding=1, bias=False))
+        assert cost.flop == 2 * 16 * 8 * 8 * 9
+
+    def test_conv_memory_eq1(self):
+        g, node, cost = build_and_cost(
+            lambda b: b.conv(b.input("x", (1, 4, 8, 8)), 8, 3, padding=1,
+                             bias=False))
+        x_bytes = 4 * 8 * 8 * 4
+        w_bytes = 8 * 4 * 3 * 3 * 4
+        y_bytes = 8 * 8 * 8 * 4
+        assert cost.read_bytes == x_bytes + w_bytes
+        assert cost.write_bytes == y_bytes
+
+    def test_strided_conv_reads_less_input(self):
+        """Paper special case: stride > kernel skips input data."""
+        def make(stride):
+            _, _, c = build_and_cost(
+                lambda b: b.conv(b.input("x", (1, 4, 16, 16)), 4, 1,
+                                 stride=stride, bias=False))
+            return c
+        full = make(1)
+        skipping = make(2)  # kernel 1, stride 2: reads 1/4 of the input
+        x_bytes = 4 * 16 * 16 * 4
+        assert full.read_bytes - skipping.read_bytes == pytest.approx(
+            x_bytes * (1 - 0.25))
+
+    def test_precision_halves_float_bytes(self):
+        _, _, c32 = build_and_cost(
+            lambda b: b.conv(b.input("x", (1, 4, 8, 8)), 4, 3, padding=1),
+            DataType.FLOAT32)
+        _, _, c16 = build_and_cost(
+            lambda b: b.conv(b.input("x", (1, 4, 8, 8)), 4, 3, padding=1),
+            DataType.FLOAT16)
+        assert c16.memory_bytes == pytest.approx(c32.memory_bytes / 2)
+        assert c16.flop == c32.flop
+
+    @pytest.mark.parametrize("groups,kernel,expected", [
+        (1, 3, OpClass.CONV),
+        (1, 1, OpClass.POINTWISE_CONV),
+        (8, 3, OpClass.DEPTHWISE_CONV),
+    ])
+    def test_conv_classification(self, groups, kernel, expected):
+        b = GraphBuilder("t")
+        x = b.input("x", (1, 8, 8, 8))
+        y = b.conv(x, 8, kernel, padding=kernel // 2, groups=groups)
+        g = b.finish(y)
+        assert classify(g.producer(y), g.tensor) is expected
+
+
+class TestMatMulCosts:
+    def test_matmul_flop(self):
+        _, _, cost = build_and_cost(
+            lambda b: b.matmul(b.input("a", (2, 8, 16)),
+                               b.input("c", (16, 4))))
+        assert cost.flop == 2 * 2 * 8 * 4 * 16
+
+    def test_gemm_with_bias(self):
+        b = GraphBuilder("t")
+        x = b.input("x", (4, 8))
+        y = b.linear(x, 6, name="fc")
+        g = b.finish(y)
+        cost = cost_of(g.producer(y), g.tensor)
+        assert cost.flop == 2 * 4 * 6 * 8 + 4 * 6
+
+    def test_gemm_dims_conv_implicit(self):
+        b = GraphBuilder("t")
+        x = b.input("x", (2, 3, 8, 8))
+        y = b.conv(x, 16, 3, padding=1)
+        g = b.finish(y)
+        m, n, k, groups = gemm_dims(g.producer(y), g.tensor)
+        assert (m, n, k, groups) == (2 * 8 * 8, 16, 3 * 9, 1)
+
+    def test_gemm_dims_matmul(self):
+        b = GraphBuilder("t")
+        a = b.input("a", (3, 5, 7))
+        c = b.input("c", (7, 11))
+        y = b.matmul(a, c)
+        g = b.finish(y)
+        assert gemm_dims(g.producer(y), g.tensor) == (5, 11, 7, 3)
+
+    def test_gemm_dims_none_for_elementwise(self):
+        b = GraphBuilder("t")
+        x = b.input("x", (4,))
+        y = b.relu(x)
+        g = b.finish(y)
+        assert gemm_dims(g.producer(y), g.tensor) is None
+
+
+class TestZeroCostAndMovement:
+    def test_reshape_is_free(self):
+        _, _, cost = build_and_cost(
+            lambda b: b.reshape(b.input("x", (2, 12)), (4, 6)))
+        assert cost.flop == 0
+        assert cost.memory_bytes == 0
+
+    def test_transpose_moves_data_no_flop(self):
+        _, _, cost = build_and_cost(
+            lambda b: b.transpose(b.input("x", (2, 3, 4)), (0, 2, 1)))
+        assert cost.flop == 0
+        assert cost.read_bytes == 2 * 3 * 4 * 4
+        assert cost.write_bytes == 2 * 3 * 4 * 4
+
+    def test_gather_reads_selected_rows_only(self):
+        b = GraphBuilder("t")
+        ids = b.input("ids", (2, 4), DataType.INT64)
+        y = b.embedding(ids, vocab=1000, dim=8, name="emb")
+        g = b.finish(y)
+        cost = cost_of(g.producer(y), g.tensor)
+        # reads 2*4 rows of 8 floats + the indices, NOT the whole table
+        assert cost.read_bytes == 2 * 4 * 8 * 4 + 2 * 4 * 8
+        assert classify(g.producer(y), g.tensor) is OpClass.EMBEDDING
+
+
+class TestElementwiseAndNorm:
+    def test_relu_one_flop_per_element(self):
+        _, _, cost = build_and_cost(lambda b: b.relu(b.input("x", (3, 7))))
+        assert cost.flop == 21
+
+    def test_sigmoid_costs_more_than_relu(self):
+        _, _, relu = build_and_cost(lambda b: b.relu(b.input("x", (10,))))
+        _, _, sig = build_and_cost(lambda b: b.sigmoid(b.input("x", (10,))))
+        assert sig.flop > relu.flop
+
+    def test_batchnorm_two_flop_per_element(self):
+        _, _, cost = build_and_cost(
+            lambda b: b.batchnorm(b.input("x", (1, 4, 5, 5))))
+        assert cost.flop == 2 * 4 * 25
+
+    def test_softmax_classified(self):
+        b = GraphBuilder("t")
+        x = b.input("x", (2, 9))
+        y = b.softmax(x)
+        g = b.finish(y)
+        assert classify(g.producer(y), g.tensor) is OpClass.SOFTMAX
+
+    def test_pool_reduction(self):
+        _, node, cost = build_and_cost(
+            lambda b: b.maxpool(b.input("x", (1, 2, 8, 8)), 2))
+        assert cost.flop == 1 * 2 * 4 * 4 * 4  # out elems * kernel elems
+
+
+class TestOpCost:
+    def test_addition(self):
+        a = OpCost(10, 100, 50)
+        b = OpCost(5, 10, 10)
+        c = a + b
+        assert (c.flop, c.read_bytes, c.write_bytes) == (15, 110, 60)
+
+    def test_arithmetic_intensity(self):
+        assert OpCost(300, 100, 50).arithmetic_intensity == 2.0
+        assert OpCost(10, 0, 0).arithmetic_intensity == math.inf
+        assert OpCost(0, 0, 0).arithmetic_intensity == 0.0
+
+    def test_unknown_op_default_rules(self):
+        d = operator_def("SomeFutureOp")
+        assert d.op_class is OpClass.ELEMENTWISE

@@ -1,0 +1,127 @@
+"""Extended operator-define tests: less-common ops and invariants."""
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.opdefs import OpClass, classify, cost_of, gemm_dims
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+from repro.ir.node import Node
+from repro.ir.shape_inference import infer_shapes
+from repro.ir.tensor import DataType, TensorInfo
+
+
+def single(op_type, inputs, attrs=None, outputs=1):
+    g = Graph("t", inputs=inputs)
+    outs = [f"o{i}" for i in range(outputs)]
+    g.add_node(Node(op_type, [t.name for t in inputs], outs, name="n",
+                    attrs=attrs or {}))
+    g.outputs = [TensorInfo(o, (1,)) for o in outs]
+    infer_shapes(g)
+    node = g.nodes[0]
+    return g, node
+
+
+class TestConvTranspose:
+    def test_flop_counts_input_positions(self):
+        g, node = single("ConvTranspose",
+                         [TensorInfo("x", (1, 8, 8, 8)),
+                          TensorInfo("w", (8, 4, 2, 2))],
+                         attrs={"strides": [2, 2]})
+        cost = cost_of(node, g.tensor)
+        # every input position contributes Cout*kh*kw MACs
+        assert cost.flop == 2 * (8 * 8 * 8) * 4 * 4
+
+    def test_classified_as_conv(self):
+        g, node = single("ConvTranspose",
+                         [TensorInfo("x", (1, 8, 8, 8)),
+                          TensorInfo("w", (8, 4, 2, 2))],
+                         attrs={"strides": [2, 2]})
+        assert classify(node, g.tensor) is OpClass.CONV
+
+
+class TestEinsum:
+    def test_contraction_flop(self):
+        g, node = single("Einsum",
+                         [TensorInfo("a", (2, 3, 4)),
+                          TensorInfo("b", (2, 4, 5))],
+                         attrs={"equation": "bij,bjk->bik"})
+        cost = cost_of(node, g.tensor)
+        assert cost.flop == 2 * 2 * 3 * 4 * 5
+
+    def test_classified_matmul(self):
+        g, node = single("Einsum",
+                         [TensorInfo("a", (2, 3, 4)),
+                          TensorInfo("b", (2, 4, 5))],
+                         attrs={"equation": "bij,bjk->bik"})
+        assert classify(node, g.tensor) is OpClass.MATMUL
+
+
+class TestQuantizeOps:
+    def test_quantize_output_int8_bytes(self):
+        g, node = single("QuantizeLinear",
+                         [TensorInfo("x", (4, 4)),
+                          TensorInfo("s", ()), TensorInfo("z", ())])
+        cost = cost_of(node, g.tensor, DataType.FLOAT16)
+        # writes int8 (1 byte/elem), reads fp16 input (2 bytes/elem)
+        assert cost.write_bytes == 16
+        assert cost.read_bytes >= 32
+
+
+class TestPoolingStrideRule:
+    def test_pool_stride_skips_input(self):
+        def cost_at(stride):
+            g, node = single("MaxPool", [TensorInfo("x", (1, 4, 16, 16))],
+                             attrs={"kernel_shape": [1, 1],
+                                    "strides": [stride, stride]})
+            return cost_of(node, g.tensor)
+        assert cost_at(4).read_bytes < cost_at(1).read_bytes / 8
+
+
+class TestGemmDimsEdgeCases:
+    def test_gemm_trans_a(self):
+        g, node = single("Gemm", [TensorInfo("a", (8, 4)),
+                                  TensorInfo("b", (8, 5))],
+                         attrs={"transA": 1})
+        assert gemm_dims(node, g.tensor) == (4, 5, 8, 1)
+
+    def test_depthwise_gemm_dims_grouped(self):
+        b = GraphBuilder("t")
+        x = b.input("x", (1, 8, 6, 6))
+        y = b.depthwise_conv(x, 3, padding=1, bias=False)
+        g = b.finish(y)
+        m, n, k, groups = gemm_dims(g.producer(y), g.tensor)
+        assert groups == 8
+        assert n == 1 and k == 9
+
+
+@given(st.integers(1, 8), st.integers(1, 64), st.integers(1, 64),
+       st.integers(1, 64))
+@settings(max_examples=40, deadline=None)
+def test_matmul_flop_formula_property(batch, m, n, k):
+    g, node = single("MatMul", [TensorInfo("a", (batch, m, k)),
+                                TensorInfo("b", (k, n))])
+    cost = cost_of(node, g.tensor)
+    assert cost.flop == 2 * batch * m * n * k
+
+
+@given(st.sampled_from(["Relu", "Sigmoid", "Add", "Transpose", "Softmax"]),
+       st.integers(1, 4), st.integers(1, 32))
+@settings(max_examples=40, deadline=None)
+def test_precision_scales_memory_not_flop(op, a, b_):
+    infos = [TensorInfo("x", (a, b_))]
+    attrs = {}
+    if op == "Add":
+        infos.append(TensorInfo("y", (a, b_)))
+    if op == "Transpose":
+        attrs = {"perm": [1, 0]}
+    g, node = single(op, infos, attrs)
+    c32 = cost_of(node, g.tensor, DataType.FLOAT32)
+    c16 = cost_of(node, g.tensor, DataType.FLOAT16)
+    c8 = cost_of(node, g.tensor, DataType.INT8)
+    assert c32.flop == c16.flop == c8.flop
+    if c32.memory_bytes > 0:
+        assert c16.memory_bytes == pytest.approx(c32.memory_bytes / 2)
+        assert c8.memory_bytes == pytest.approx(c32.memory_bytes / 4)

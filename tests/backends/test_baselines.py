@@ -1,0 +1,114 @@
+"""Baseline-profiler tests (the Table 1 tool implementations)."""
+import pytest
+
+from repro.baselines import (FrameworkProfiler, KernelProfiler,
+                             RuntimeProfiler)
+from repro.models import resnet50, shufflenet_v2, vit
+
+
+@pytest.fixture(scope="module")
+def small_resnet():
+    return lambda: resnet50(batch_size=4)
+
+
+class TestFrameworkProfiler:
+    def test_reports_every_model_layer(self, small_resnet):
+        g = small_resnet()
+        stats = FrameworkProfiler("a100", "fp16").profile(g)
+        assert len(stats) == g.num_nodes
+        names = {s.name for s in stats}
+        assert any("conv1" in n for n in names)
+
+    def test_slower_than_production(self, small_resnet):
+        """Table 1 row 1: framework numbers don't reflect deployment."""
+        fw = FrameworkProfiler("a100", "fp16").total_latency_seconds(
+            small_resnet())
+        prod = RuntimeProfiler("trt-sim", "a100").total_latency_seconds(
+            small_resnet())
+        assert fw > 1.5 * prod
+
+    def test_total_flop_matches_analysis(self, small_resnet):
+        from repro.analysis.arep import AnalyzeRepresentation
+        g = small_resnet()
+        fw_flop = FrameworkProfiler("a100", "fp16").total_flop(g)
+        stats = AnalyzeRepresentation(g).stats()
+        assert fw_flop == pytest.approx(stats.flop, rel=0.01)
+
+
+class TestRuntimeProfiler:
+    def test_profile_matches_backend_latency(self, small_resnet):
+        rp = RuntimeProfiler("trt-sim", "a100")
+        stats = rp.profile(small_resnet())
+        assert all(s.latency_seconds >= 0 for s in stats)
+        assert sum(s.latency_seconds for s in stats) == pytest.approx(
+            rp.total_latency_seconds(small_resnet()), rel=1e-6)
+
+    def test_design_coverage_full_on_trt_convnet(self, small_resnet):
+        """TRT joins fused member names, so conv nets are attributable."""
+        rp = RuntimeProfiler("trt-sim", "a100")
+        assert rp.design_coverage(small_resnet()) > 0.9
+
+    def test_design_coverage_zero_on_ort_generic_names(self):
+        """ORT's fused_op_N names leak nothing (Fig. 2 scenario)."""
+        rp = RuntimeProfiler("ort-sim", "xeon6330", "fp32")
+        assert rp.design_coverage(resnet50(batch_size=2)) < 0.05
+
+    def test_design_coverage_partial_on_trt_transformer(self):
+        """Myelin regions only leak two member names each."""
+        rp = RuntimeProfiler("trt-sim", "a100")
+        cov = rp.design_coverage(vit("tiny", batch_size=1))
+        assert 0.1 < cov < 0.95
+
+
+class TestKernelProfiler:
+    def test_kernel_names_are_mangled_vendor_names(self, small_resnet):
+        kp = KernelProfiler("trt-sim", "a100")
+        stats = kp.profile(small_resnet())
+        assert stats
+        assert any("xmma" in s.kernel_name or "cudnn" in s.kernel_name
+                   for s in stats)
+
+    def test_design_coverage_near_zero(self, small_resnet):
+        kp = KernelProfiler("trt-sim", "a100")
+        assert kp.design_coverage(small_resnet()) < 0.05
+
+    def test_has_hardware_metrics_and_overhead(self, small_resnet):
+        kp = KernelProfiler("trt-sim", "a100")
+        stats = kp.profile(small_resnet())
+        assert all(s.dram_bytes > 0 for s in stats)
+        assert sum(s.flop for s in stats) > 0
+        assert kp.last_profiling_seconds > 60
+
+    def test_deterministic_kernel_names(self, small_resnet):
+        kp = KernelProfiler("trt-sim", "a100")
+        a = [s.kernel_name for s in kp.profile(small_resnet())]
+        b = [s.kernel_name for s in kp.profile(small_resnet())]
+        assert a == b
+
+
+class TestTable1Experiment:
+    def test_quantified_table1(self):
+        from repro.experiments import table1_tools
+        rows = {r.tool: r for r in table1_tools.run(batch_size=8)}
+        fw = rows["DL framework profiler"]
+        rt = rows["Runtime built-in profiler"]
+        hw = rows["Hardware (kernel) profiler"]
+        proof = rows["PRoof (this work)"]
+        # the paper's Table 1, quantified:
+        assert fw.mapping_fraction == 1.0 and not fw.has_memory_metrics
+        assert fw.latency_vs_production > 1.5
+        assert rt.mapping_fraction < 1.0
+        assert hw.mapping_fraction < 0.05 and hw.has_memory_metrics
+        assert hw.overhead_seconds > 60
+        assert proof.mapping_fraction == 1.0
+        assert proof.has_memory_metrics
+        assert proof.overhead_seconds == 0.0
+        assert proof.latency_vs_production == pytest.approx(1.0)
+
+    def test_ablation_fusion_rule_wins(self):
+        from repro.experiments import ablation_fusion
+        rows = ablation_fusion.run(models=("resnet50",), batch_size=16)
+        r = rows[0]
+        assert abs(r.fused_error_pct) < 8
+        assert r.naive_error_pct > 60          # naive sum over-predicts
+        assert r.improvement > 5

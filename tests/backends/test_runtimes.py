@@ -1,0 +1,170 @@
+"""Simulated-runtime tests: compilation, layer structure, naming,
+reformat insertion, op-support limits."""
+import pytest
+
+from repro.backends import (OnnxRuntimeSim, OpenVINOSim, TensorRTSim,
+                            UnsupportedModelError, backend_by_name)
+from repro.backends.base import LayerKind
+from repro.hardware.specs import platform
+from repro.ir.builder import GraphBuilder
+from repro.ir.tensor import DataType
+from repro.models import shufflenet_v2, vit
+
+
+def resnet_block():
+    b = GraphBuilder("blk")
+    x = b.input("x", (2, 8, 14, 14))
+    y = b.conv(x, 8, 3, padding=1, name="conv1")
+    y = b.batchnorm(y, name="bn1")
+    y = b.relu(y)
+    y = b.conv(y, 8, 3, padding=1, name="conv2")
+    y = b.batchnorm(y, name="bn2")
+    y = b.add(y, x)
+    y = b.relu(y)
+    return b.finish(y)
+
+
+A100 = platform("a100")
+XEON = platform("xeon6330")
+NPU = platform("npu3720")
+
+
+class TestTensorRTSim:
+    def test_compiles_with_positive_latencies(self):
+        model = TensorRTSim().compile(resnet_block(), A100, DataType.FLOAT16)
+        assert model.total_latency_seconds > 0
+        for layer in model.execution_layers():
+            assert layer.latency_seconds > 0
+
+    def test_reformats_at_boundaries(self):
+        model = TensorRTSim().compile(resnet_block(), A100, DataType.FLOAT16)
+        reformats = [l for l in model.layers if l.is_reformat]
+        assert len(reformats) == 2
+        assert model.layers[0].is_reformat
+        assert model.layers[-1].is_reformat
+        assert "Reformatting" in reformats[0].name
+
+    def test_exposed_names_for_conv_fusions(self):
+        model = TensorRTSim().compile(resnet_block(), A100, DataType.FLOAT16)
+        fused = [l for l in model.execution_layers()
+                 if l.exposed_member_names and len(l.exposed_member_names) > 1]
+        assert fused, "conv fusions should expose member names"
+        assert any("conv1" in l.exposed_member_names[0] for l in fused)
+
+    def test_every_nonfolded_node_in_exactly_one_layer(self):
+        g = resnet_block()
+        model = TensorRTSim().compile(g, A100, DataType.FLOAT16)
+        members = []
+        for l in model.execution_layers():
+            members.extend(l.true_member_names)
+        assert sorted(members) == sorted(n.name for n in g.nodes)
+
+    def test_myelin_regions_hide_names(self):
+        model = TensorRTSim().compile(vit("tiny", batch_size=1), A100,
+                                      DataType.FLOAT16)
+        opaque = [l for l in model.execution_layers()
+                  if l.exposed_member_names is None]
+        assert opaque, "transformer models must produce io-only layers"
+        assert any(l.name.startswith(("{ForeignNode[", "PWN("))
+                   for l in opaque)
+
+    def test_sd_unet_int8_conversion_fails(self):
+        from repro.models import sd_unet
+        with pytest.raises(UnsupportedModelError, match="int8"):
+            TensorRTSim().compile(sd_unet(1, 32), A100, DataType.INT8)
+
+    def test_movement_absorbed_into_matmuls(self):
+        """Attention plumbing (transpose into a single GEMM consumer)
+        vanishes into the GEMM layer, Myelin-style."""
+        b = GraphBuilder("attn")
+        x = b.input("x", (2, 8, 16))
+        t = b.transpose(x, (0, 2, 1))
+        y = b.matmul(t, b.weight((8, 8)))
+        g = b.finish(y)
+        model = TensorRTSim().compile(g, A100, DataType.FLOAT16)
+        members = [m for l in model.execution_layers()
+                   for m in l.true_member_names]
+        assert any("Transpose" in m for m in members)
+        assert len(model.execution_layers()) == 1
+
+
+class TestOnnxRuntimeSim:
+    def test_reorder_layers_alias_tensors(self):
+        model = OnnxRuntimeSim().compile(resnet_block(), XEON,
+                                         DataType.FLOAT32)
+        reorders = [l for l in model.layers if l.is_reformat]
+        assert reorders[0].name.startswith("reorder_")
+        src, dst = reorders[0].true_alias
+        assert dst == f"{src}_r"
+        # execution layers consume the reordered tensor
+        first_exec = model.execution_layers()[0]
+        assert dst in first_exec.inputs
+
+    def test_generic_fused_names_hide_members(self):
+        model = OnnxRuntimeSim().compile(resnet_block(), XEON,
+                                         DataType.FLOAT32)
+        for layer in model.execution_layers():
+            assert layer.exposed_member_names is None
+        assert any(l.name.startswith("fused_op_")
+                   for l in model.execution_layers())
+
+    def test_residual_add_stays_separate(self):
+        model = OnnxRuntimeSim().compile(resnet_block(), XEON,
+                                         DataType.FLOAT32)
+        adds = [l for l in model.execution_layers()
+                if "Add" in [m.split("/")[-1].split("_")[0]
+                             for m in l.true_member_names]]
+        # the Add+Relu tail is its own (pointwise) layer, not conv epilogue
+        conv_layers = [l for l in model.execution_layers()
+                       if any("conv" in m for m in l.true_member_names)]
+        for l in conv_layers:
+            assert not any(m.startswith("Add") for m in l.true_member_names)
+
+
+class TestOpenVINOSim:
+    def test_friendly_names_exposed(self):
+        model = OpenVINOSim().compile(resnet_block(), NPU, DataType.FLOAT16)
+        for layer in model.execution_layers():
+            assert layer.exposed_member_names is not None
+            assert len(layer.exposed_member_names) == 1
+            assert layer.exposed_member_names[0] == layer.name
+            assert layer.exposed_member_names[0] in layer.true_member_names
+
+    def test_npu_rejects_gelu_models(self):
+        with pytest.raises(UnsupportedModelError, match="Erf"):
+            OpenVINOSim().compile(vit("tiny", batch_size=1), NPU,
+                                  DataType.FLOAT16)
+
+    def test_npu_accepts_cnns(self):
+        model = OpenVINOSim().compile(shufflenet_v2(1.0, batch_size=1), NPU,
+                                      DataType.FLOAT16)
+        assert model.total_latency_seconds > 0
+
+    def test_other_platforms_unrestricted(self):
+        model = OpenVINOSim().compile(vit("tiny", batch_size=1), XEON,
+                                      DataType.FLOAT32)
+        assert model.total_latency_seconds > 0
+
+
+class TestRegistry:
+    def test_backend_by_name(self):
+        assert isinstance(backend_by_name("trt-sim"), TensorRTSim)
+        assert isinstance(backend_by_name("ORT-SIM"), OnnxRuntimeSim)
+        with pytest.raises(KeyError, match="unknown backend"):
+            backend_by_name("tensorrt")
+
+    def test_latency_scales_with_batch(self):
+        be = TensorRTSim()
+        small = be.compile(shufflenet_v2(1.0, batch_size=1), A100,
+                           DataType.FLOAT16)
+        big = be.compile(shufflenet_v2(1.0, batch_size=64), A100,
+                         DataType.FLOAT16)
+        assert big.total_latency_seconds > small.total_latency_seconds
+
+    def test_int8_faster_than_fp16_on_a100(self):
+        be = TensorRTSim()
+        g16 = be.compile(shufflenet_v2(1.0, batch_size=256), A100,
+                         DataType.FLOAT16)
+        g8 = be.compile(shufflenet_v2(1.0, batch_size=256), A100,
+                        DataType.INT8)
+        assert g8.total_latency_seconds < g16.total_latency_seconds

@@ -1,0 +1,102 @@
+"""CLI tests: the ``proof`` entry point."""
+import json
+
+import pytest
+
+from repro.core.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "resnet50" in out
+    assert "a100" in out
+    assert "trt-sim" in out
+
+
+def test_run_predict(capsys, tmp_path):
+    json_path = tmp_path / "r.json"
+    svg_path = tmp_path / "r.svg"
+    rc = main(["run", "--model", "shufflenetv2-10", "--platform", "a100",
+               "--batch", "8", "--json", str(json_path),
+               "--svg", str(svg_path), "--top", "5"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "PRoof report" in out
+    doc = json.loads(json_path.read_text())
+    assert doc["model_name"] == "shufflenetv2-x1"
+    assert svg_path.read_text().startswith("<svg")
+
+
+def test_run_measure_mode(capsys):
+    rc = main(["run", "--model", "mobilenetv2-05", "--batch", "4",
+               "--mode", "measure"])
+    assert rc == 0
+    assert "counter-collection overhead" in capsys.readouterr().out
+
+
+def test_run_unsupported_model_returns_2(capsys):
+    rc = main(["run", "--model", "vit-tiny", "--platform", "npu3720",
+               "--backend", "ov-sim"])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_peak_default(capsys):
+    assert main(["peak", "--platform", "a100"]) == 0
+    out = capsys.readouterr().out
+    assert "FLOP/s" in out
+
+
+def test_peak_with_clocks(capsys):
+    assert main(["peak", "--platform", "orin-nx", "--gpu-clock", "510",
+                 "--mem-clock", "2133"]) == 0
+    out = capsys.readouterr().out
+    assert "510" in out
+    assert "Power" in out
+
+
+def test_parser_rejects_unknown_model():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--model", "alexnet"])
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_sweep_command(capsys):
+    from repro.core.cli import main
+    rc = main(["sweep", "--model", "mobilenetv2-05",
+               "--batches", "1,16,128"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "peak throughput" in out
+    assert "128" in out
+
+
+def test_sweep_rejects_bad_batches():
+    from repro.core.cli import main
+    with pytest.raises(ValueError):
+        main(["sweep", "--model", "mobilenetv2-05", "--batches", "0,4"])
+
+
+def test_run_with_insights(capsys):
+    from repro.core.cli import main
+    rc = main(["run", "--model", "shufflenetv2-10", "--batch", "256",
+               "--insights", "--top", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "optimization guidance:" in out
+    assert "transpose/copy" in out
+
+
+def test_run_with_module_rollup(capsys):
+    from repro.core.cli import main
+    rc = main(["run", "--model", "resnet50", "--batch", "8",
+               "--by-module", "1", "--top", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "module rollup (depth 1):" in out
+    assert "layer1.0" in out

@@ -1,0 +1,105 @@
+"""Data-viewer tests: text reports, SVG charts, latency histograms."""
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.dataviewer import (CLASS_COLORS, format_layer_table,
+                                   format_report, latency_histogram,
+                                   render_roofline_svg)
+from repro.core.profiler import Profiler
+from repro.core.roofline import Roofline, RooflinePoint
+from repro.models import shufflenet_v2
+
+
+@pytest.fixture(scope="module")
+def report():
+    return Profiler("trt-sim", "a100", "fp16").profile(
+        shufflenet_v2(1.0, batch_size=8))
+
+
+class TestTextReport:
+    def test_header_fields_present(self, report):
+        text = format_report(report)
+        assert "shufflenetv2-x1" in text
+        assert "a100" in text
+        assert "end-to-end" in text
+        assert "latency share" in text
+
+    def test_layer_table_rows_and_top(self, report):
+        full = format_layer_table(report)
+        top3 = format_layer_table(report, top=3)
+        assert len(full.splitlines()) == len(report.layers) + 2
+        assert len(top3.splitlines()) == 5
+
+    def test_table_sorted_by_latency(self, report):
+        lines = format_layer_table(report, top=5).splitlines()[2:]
+        # the first data row must be the top latency layer
+        top_layer = report.top_layers(1)[0]
+        assert lines[0].startswith(top_layer.name[:44])
+
+
+class TestHistogram:
+    def test_mass_conserved(self, report):
+        bins = latency_histogram(report.layers, axis="intensity")
+        total_binned = sum(m for _, _, m in bins)
+        total = sum(l.latency_seconds for l in report.layers
+                    if l.arithmetic_intensity > 0)
+        assert total_binned == pytest.approx(total, rel=0.02)
+
+    def test_bins_ordered(self, report):
+        bins = latency_histogram(report.layers, axis="flops", bins=8)
+        lefts = [l for l, _, _ in bins]
+        assert lefts == sorted(lefts)
+        assert len(bins) == 8
+
+    def test_bad_axis(self, report):
+        with pytest.raises(ValueError):
+            latency_histogram(report.layers, axis="bogus")
+
+    def test_empty_layers(self):
+        assert latency_histogram([]) == []
+
+
+class TestSvg:
+    def _points(self):
+        return [
+            RooflinePoint("conv", 50.0, 1e13, weight=0.5, tag="conv"),
+            RooflinePoint("copy", 0.2, 1e10, weight=0.3, tag="data_movement"),
+            RooflinePoint("mm", 500.0, 8e13, weight=0.2, tag="matmul"),
+        ]
+
+    def test_valid_xml_with_points(self):
+        roof = Roofline("p", 1e14, 1e12)
+        svg = render_roofline_svg(roof, self._points(), title="test chart")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        circles = [e for e in root.iter() if e.tag.endswith("circle")]
+        assert len(circles) == 3
+
+    def test_extra_bandwidth_lines_drawn(self):
+        roof = Roofline("p", 1e14, 1e12)
+        svg = render_roofline_svg(roof, self._points(),
+                                  extra_bandwidths=[("EMC 2133", 6e11),
+                                                    ("EMC 665", 2e11)])
+        root = ET.fromstring(svg)
+        polylines = [e for e in root.iter() if e.tag.endswith("polyline")]
+        assert len(polylines) == 3  # main roof + 2 alternatives
+
+    def test_title_escaped(self):
+        roof = Roofline("p", 1e14, 1e12)
+        svg = render_roofline_svg(roof, [], title="a<b&c")
+        assert "a&lt;b&amp;c" in svg
+        ET.fromstring(svg)
+
+    def test_class_colors_cover_op_classes(self):
+        from repro.analysis.opdefs import OpClass
+        for klass in OpClass:
+            assert klass.value in CLASS_COLORS
+
+    def test_full_report_chart(self, report):
+        profiler = Profiler("trt-sim", "a100", "fp16")
+        svg = render_roofline_svg(profiler.roofline(),
+                                  profiler.layer_points(report),
+                                  title="shufflenet layer-wise")
+        ET.fromstring(svg)
+        assert "FLOP/s" in svg

@@ -1,0 +1,96 @@
+"""Tests for module-level aggregation and report diffing."""
+import pytest
+
+from repro.core.diff import diff_reports, format_diff
+from repro.core.hierarchy import RUNTIME_BUCKET, aggregate, format_modules
+from repro.core.profiler import Profiler
+from repro.models import (build_model, shufflenet_v2,
+                          shufflenet_v2_modified)
+
+
+@pytest.fixture(scope="module")
+def resnet_report():
+    return Profiler("trt-sim", "a100", "fp16").profile(
+        build_model("resnet50", batch_size=32))
+
+
+class TestAggregate:
+    def test_conserves_latency_and_flop(self, resnet_report):
+        mods = aggregate(resnet_report, depth=1)
+        assert sum(m.latency_seconds for m in mods) == pytest.approx(
+            resnet_report.end_to_end.latency_seconds)
+        assert sum(m.flop for m in mods) == pytest.approx(
+            resnet_report.end_to_end.flop)
+
+    def test_depth1_finds_resnet_stages(self, resnet_report):
+        paths = {m.path for m in aggregate(resnet_report, depth=1)}
+        for stage in ("layer1.0", "layer2.0", "layer3.0", "layer4.0"):
+            assert stage in paths
+        assert RUNTIME_BUCKET in paths      # the reformat copies
+
+    def test_depth2_refines(self, resnet_report):
+        d1 = aggregate(resnet_report, depth=1)
+        d2 = aggregate(resnet_report, depth=2)
+        assert len(d2) >= len(d1)
+
+    def test_sorted_by_latency(self, resnet_report):
+        mods = aggregate(resnet_report)
+        lats = [m.latency_seconds for m in mods]
+        assert lats == sorted(lats, reverse=True)
+
+    def test_runtime_bucket_holds_reformats(self, resnet_report):
+        runtime = next(m for m in aggregate(resnet_report)
+                       if m.path == RUNTIME_BUCKET)
+        assert runtime.model_layer_count == 0
+        assert runtime.backend_layer_count >= 2
+        assert runtime.flop == 0.0
+
+    def test_depth_validation(self, resnet_report):
+        with pytest.raises(ValueError):
+            aggregate(resnet_report, depth=0)
+
+    def test_format_renders(self, resnet_report):
+        text = format_modules(aggregate(resnet_report), top=5)
+        assert "module" in text
+        assert len(text.splitlines()) == 7
+
+
+class TestDiff:
+    @pytest.fixture(scope="class")
+    def shuffle_diff(self):
+        p = Profiler("trt-sim", "a100", "fp16")
+        before = p.profile(shufflenet_v2(1.0, batch_size=512))
+        after = p.profile(shufflenet_v2_modified(1.0, batch_size=512))
+        return diff_reports(before, after)
+
+    def test_speedup_and_ratios(self, shuffle_diff):
+        assert shuffle_diff.speedup > 1.2
+        assert shuffle_diff.flop_ratio > 1.2       # modified has more FLOP
+        assert shuffle_diff.traffic_ratio < 1.0    # ... and less traffic
+
+    def test_biggest_win_is_data_movement(self, shuffle_diff):
+        win = shuffle_diff.biggest_win()
+        assert win is not None
+        assert win.op_class == "data_movement"
+
+    def test_regression_is_compute(self, shuffle_diff):
+        reg = shuffle_diff.biggest_regression()
+        assert reg is not None
+        assert reg.op_class in ("pointwise_conv", "conv", "depthwise_conv")
+
+    def test_class_deltas_cover_both_runs(self, shuffle_diff):
+        classes = {d.op_class for d in shuffle_diff.class_deltas}
+        assert "data_movement" in classes
+        assert "pointwise_conv" in classes
+
+    def test_format(self, shuffle_diff):
+        text = format_diff(shuffle_diff)
+        assert "diff:" in text
+        assert "data_movement" in text
+        assert "x)" in text
+
+    def test_self_diff_is_neutral(self, resnet_report):
+        diff = diff_reports(resnet_report, resnet_report)
+        assert diff.speedup == pytest.approx(1.0)
+        for d in diff.class_deltas:
+            assert d.delta_seconds == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,101 @@
+"""HTML visual-report tests."""
+import html.parser
+
+import pytest
+
+from repro.core import Profiler, render_html_report, save_html_report
+from repro.models import shufflenet_v2
+
+
+class _Validator(html.parser.HTMLParser):
+    """Light structural validation: balanced tags we care about."""
+
+    VOID = {"meta", "br", "img", "hr", "input", "link"}
+
+    def __init__(self):
+        super().__init__()
+        self.stack = []
+        self.errors = []
+        self.counts = {}
+
+    def handle_starttag(self, tag, attrs):
+        self.counts[tag] = self.counts.get(tag, 0) + 1
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if not self.stack or self.stack[-1] != tag:
+            self.errors.append(f"unbalanced </{tag}>")
+        else:
+            self.stack.pop()
+
+
+@pytest.fixture(scope="module")
+def rendered():
+    profiler = Profiler("trt-sim", "a100", "fp16")
+    report = profiler.profile(shufflenet_v2(1.0, batch_size=8))
+    content = render_html_report(report, profiler.roofline(),
+                                 profiler.layer_points(report),
+                                 top_layers=10)
+    return report, content
+
+
+def test_html_is_well_formed(rendered):
+    _, content = rendered
+    v = _Validator()
+    v.feed(content)
+    assert not v.errors, v.errors[:3]
+    assert not v.stack, f"unclosed: {v.stack}"
+
+
+def test_contains_summary_and_chart(rendered):
+    report, content = rendered
+    assert report.model_name in content
+    assert "<svg" in content and "circle" in content
+    assert "end-to-end latency" in content
+    assert "Latency by operator class" in content
+
+
+def test_layer_table_capped(rendered):
+    _, content = rendered
+    # 10 layer rows + header inside the backend-layers table
+    table = content.split("Backend layers")[1]
+    assert table.count("<tr>") <= 12
+
+
+def test_model_layer_names_listed(rendered):
+    report, content = rendered
+    any_member = next(m for l in report.layers for m in l.model_layers)
+    assert any_member.split("/")[0] in content
+
+
+def test_escaping_of_layer_names():
+    """ForeignNode-style names contain braces/brackets; titles must be
+    escaped, not break the markup."""
+    from repro.models import vit
+    profiler = Profiler("trt-sim", "a100", "fp16")
+    report = profiler.profile(vit("tiny", batch_size=1))
+    content = render_html_report(report, profiler.roofline(),
+                                 profiler.layer_points(report))
+    v = _Validator()
+    v.feed(content)
+    assert not v.errors
+
+
+def test_save_writes_file(tmp_path, rendered):
+    report, _ = rendered
+    profiler = Profiler("trt-sim", "a100", "fp16")
+    path = save_html_report(str(tmp_path / "r.html"), report,
+                            profiler.roofline(),
+                            profiler.layer_points(report))
+    assert open(path).read().startswith("<!doctype html>")
+
+
+def test_cli_html_flag(tmp_path, capsys):
+    from repro.core.cli import main
+    out = tmp_path / "report.html"
+    rc = main(["run", "--model", "mobilenetv2-05", "--batch", "4",
+               "--html", str(out)])
+    assert rc == 0
+    assert out.exists()
+    assert "visual report written" in capsys.readouterr().out

@@ -1,0 +1,107 @@
+"""Insight-engine tests: the rules must fire on the models the paper
+derived the corresponding insights from."""
+import pytest
+
+from repro.core.insights import Insight, Severity, analyze, format_insights
+from repro.core.profiler import Profiler
+from repro.models import (build_model, efficientnet_b4, shufflenet_v2,
+                          shufflenet_v2_modified)
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return Profiler("trt-sim", "a100", "fp16")
+
+
+def rules(insights):
+    return {i.rule for i in insights}
+
+
+def by_rule(insights, rule):
+    return next(i for i in insights if i.rule == rule)
+
+
+class TestShuffleNetStory:
+    def test_data_movement_hotspot_on_original(self, profiler):
+        report = profiler.profile(shufflenet_v2(1.0, batch_size=2048))
+        insights = analyze(report)
+        finding = by_rule(insights, "data-movement")
+        assert finding.severity == Severity.HOTSPOT
+        assert finding.latency_share > 0.3
+        assert "ShuffleNetV2" in finding.message
+
+    def test_modified_clears_the_finding(self, profiler):
+        report = profiler.profile(
+            shufflenet_v2_modified(1.0, batch_size=2048))
+        insights = analyze(report)
+        if "data-movement" in rules(insights):
+            assert by_rule(insights, "data-movement").latency_share < 0.3
+
+
+class TestEfficientNetStory:
+    def test_depthwise_drag_on_b4(self, profiler):
+        report = profiler.profile(efficientnet_b4(batch_size=128))
+        insights = analyze(report)
+        assert "depthwise-drag" in rules(insights)
+
+    def test_no_depthwise_drag_on_resnet(self, profiler):
+        report = profiler.profile(build_model("resnet50", batch_size=128))
+        assert "depthwise-drag" not in rules(analyze(report))
+
+
+class TestBoundClassification:
+    def test_exactly_one_bound_rule(self, profiler):
+        report = profiler.profile(build_model("resnet50", batch_size=64))
+        found = rules(analyze(report))
+        assert len(found & {"memory-bound", "compute-bound"}) == 1
+
+    def test_low_ai_model_memory_bound(self, profiler):
+        report = profiler.profile(build_model("mobilenetv2-05",
+                                              batch_size=64))
+        assert "memory-bound" in rules(analyze(report))
+
+    def test_launch_tail_at_batch_one(self, profiler):
+        report = profiler.profile(shufflenet_v2(1.0, batch_size=1))
+        insights = analyze(report)
+        assert "launch-bound-tail" in rules(insights)
+
+
+class TestStructure:
+    def test_always_has_efficiency_summary(self, profiler):
+        report = profiler.profile(build_model("resnet50", batch_size=8))
+        insights = analyze(report)
+        assert "efficiency" in rules(insights)
+        assert insights == sorted(insights, key=lambda i: -i.latency_share)
+
+    def test_format_is_numbered(self, profiler):
+        report = profiler.profile(build_model("resnet50", batch_size=8))
+        text = format_insights(analyze(report))
+        assert text.startswith("optimization guidance:")
+        assert "  1. [" in text
+
+
+class TestComputeBoundBranch:
+    def test_high_ai_model_compute_bound(self):
+        """ResNet-34 at batch 128 sits above the A100 ridge (AI ~374 vs
+        228): the compute-bound rule must fire with §4.6-style advice."""
+        profiler = Profiler("trt-sim", "a100", "fp16")
+        report = profiler.profile(build_model("resnet34", batch_size=128))
+        insights = analyze(report)
+        finding = by_rule(insights, "compute-bound")
+        assert "memory clock can drop" in finding.message
+
+    def test_dominant_layer_rule(self):
+        """A two-layer toy where one conv dwarfs everything trips the
+        dominant-layer hotspot."""
+        from repro.ir.builder import GraphBuilder
+        b = GraphBuilder("toy")
+        x = b.input("x", (8, 64, 64, 64))
+        y = b.conv(x, 256, 3, padding=1, name="huge")
+        y = b.relu(y)
+        y = b.global_avgpool(y)
+        g = b.finish(y)
+        profiler = Profiler("trt-sim", "a100", "fp16")
+        insights = analyze(profiler.profile(g))
+        finding = by_rule(insights, "dominant-layer")
+        assert finding.severity == Severity.HOTSPOT
+        assert "huge" in finding.message

@@ -1,0 +1,38 @@
+"""Peak-test runner tests (Table 6 machinery)."""
+import pytest
+
+from repro.core.peaktest import PeakResult, measure_peaks
+from repro.hardware.specs import platform
+from repro.ir.tensor import DataType
+
+
+def test_a100_peaks_in_plausible_band():
+    result = measure_peaks("a100")
+    spec = platform("a100")
+    assert 0.5 * spec.peak_flops(DataType.FLOAT16) < result.achieved_flops \
+        < spec.peak_flops(DataType.FLOAT16)
+    assert 0.5 * spec.dram_bandwidth < result.achieved_bandwidth \
+        < spec.dram_bandwidth
+    assert result.power_watts is None  # no power model on the A100
+
+
+def test_orin_reproduces_table6_row1():
+    result = measure_peaks("orin-nx")
+    assert result.tflops == pytest.approx(13.620, rel=0.05)
+    assert result.bandwidth_gbs == pytest.approx(87.879, rel=0.05)
+    assert result.power_watts == pytest.approx(23.6, abs=1.5)
+
+
+def test_scaling_moves_both_ceilings():
+    base = measure_peaks("orin-nx")
+    spec = platform("orin-nx").scaled(510, 665)
+    low = measure_peaks(spec)
+    assert low.achieved_flops < base.achieved_flops
+    assert low.achieved_bandwidth < base.achieved_bandwidth
+    assert low.power_watts < base.power_watts
+
+
+def test_string_backend_accepted():
+    result = measure_peaks("rtx4090", backend="trt-sim")
+    assert isinstance(result, PeakResult)
+    assert result.achieved_flops > 0

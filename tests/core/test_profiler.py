@@ -1,0 +1,144 @@
+"""Profiler integration tests: the full PRoof workflow end to end."""
+import json
+
+import pytest
+
+from repro.backends import UnsupportedModelError
+from repro.core.profiler import Profiler, profile_model
+from repro.core.report import MetricSource
+from repro.hardware.specs import platform
+from repro.ir.builder import GraphBuilder
+from repro.ir.tensor import DataType
+from repro.models import resnet50, shufflenet_v2, vit
+
+
+@pytest.fixture(scope="module")
+def resnet_report():
+    return Profiler("trt-sim", "a100", "fp16").profile(resnet50(batch_size=8))
+
+
+class TestReportStructure:
+    def test_identity_fields(self, resnet_report):
+        r = resnet_report
+        assert r.model_name == "resnet50"
+        assert r.backend_name == "trt-sim"
+        assert r.platform_name == "a100"
+        assert r.precision == "float16"
+        assert r.batch_size == 8
+        assert r.metric_source == MetricSource.PREDICTED
+
+    def test_end_to_end_aggregates_layers(self, resnet_report):
+        e = resnet_report.end_to_end
+        assert e.latency_seconds == pytest.approx(
+            sum(l.latency_seconds for l in resnet_report.layers))
+        assert e.flop == pytest.approx(
+            sum(l.flop for l in resnet_report.layers))
+        assert e.memory_bytes == pytest.approx(
+            sum(l.memory_bytes for l in resnet_report.layers))
+
+    def test_every_layer_has_mapping(self, resnet_report):
+        for layer in resnet_report.execution_layers():
+            assert layer.model_layers, f"{layer.name} unmapped"
+
+    def test_bn_reported_folded(self, resnet_report):
+        folded = [f for l in resnet_report.layers for f in l.folded_layers]
+        assert any("bn" in f for f in folded)
+
+    def test_flop_matches_model_total(self, resnet_report):
+        from repro.analysis.arep import AnalyzeRepresentation
+        stats = AnalyzeRepresentation(resnet50(batch_size=8)).stats()
+        # fused total drops folded BN flop, so slightly below the raw sum
+        assert resnet_report.end_to_end.flop <= stats.flop
+        assert resnet_report.end_to_end.flop >= 0.95 * stats.flop
+
+    def test_latency_share_sums_to_one(self, resnet_report):
+        shares = resnet_report.latency_share_by_class()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_top_layers_sorted(self, resnet_report):
+        top = resnet_report.top_layers(5)
+        lats = [l.latency_seconds for l in top]
+        assert lats == sorted(lats, reverse=True)
+
+    def test_json_roundtrip(self, resnet_report, tmp_path):
+        path = tmp_path / "report.json"
+        resnet_report.save(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["model_name"] == "resnet50"
+        assert len(doc["layers"]) == len(resnet_report.layers)
+        assert doc["derived"]["achieved_gflops"] > 0
+
+
+class TestMetricSources:
+    def test_measured_mode_changes_flop_and_adds_overhead(self):
+        g1 = resnet50(batch_size=8)
+        g2 = resnet50(batch_size=8)
+        pred = Profiler("trt-sim", "a100", "fp16",
+                        MetricSource.PREDICTED).profile(g1)
+        meas = Profiler("trt-sim", "a100", "fp16",
+                        MetricSource.MEASURED).profile(g2)
+        assert pred.profiling_overhead_seconds == 0.0
+        assert meas.profiling_overhead_seconds > 60
+        assert meas.end_to_end.flop != pred.end_to_end.flop
+        # same latencies: metric source does not change the runtime
+        assert meas.end_to_end.latency_seconds == pytest.approx(
+            pred.end_to_end.latency_seconds)
+
+    def test_invalid_metric_source(self):
+        with pytest.raises(ValueError, match="metric source"):
+            Profiler("trt-sim", "a100", "fp16", "guessed")
+
+
+class TestChartHelpers:
+    def test_layer_points_weights(self, resnet_report):
+        profiler = Profiler("trt-sim", "a100", "fp16")
+        pts = profiler.layer_points(resnet_report)
+        assert pts
+        assert sum(p.weight for p in pts) == pytest.approx(1.0, abs=0.05)
+        for p in pts:
+            assert p.arithmetic_intensity >= 0
+            assert p.achieved_flops >= 0
+
+    def test_end_to_end_point(self, resnet_report):
+        profiler = Profiler("trt-sim", "a100", "fp16")
+        p = profiler.end_to_end_point(resnet_report)
+        assert p.name == "resnet50"
+        assert p.tag == "end-to-end"
+        assert p.achieved_flops == resnet_report.end_to_end.achieved_flops
+
+
+class TestStringArguments:
+    def test_profile_model_convenience(self):
+        report = profile_model(shufflenet_v2(1.0, batch_size=2),
+                               backend="ort-sim", spec="xeon6330",
+                               precision="fp32")
+        assert report.backend_name == "ort-sim"
+        assert report.platform_name == "xeon6330"
+        assert report.end_to_end.latency_seconds > 0
+
+    def test_unsupported_surfaces(self):
+        with pytest.raises(UnsupportedModelError):
+            profile_model(vit("tiny", batch_size=1), backend="ov-sim",
+                          spec="npu3720", precision="fp16")
+
+
+class TestCrossPlatformSanity:
+    """The same model must be fastest on the biggest GPU."""
+
+    def test_platform_ordering(self):
+        g = lambda: shufflenet_v2(1.0, batch_size=8)
+        lat = {}
+        for p, be in [("a100", "trt-sim"), ("orin-nx", "trt-sim"),
+                      ("rpi4b", "ort-sim")]:
+            prec = "fp16" if p != "rpi4b" else "fp32"
+            lat[p] = Profiler(be, p, prec).profile(
+                g()).end_to_end.latency_seconds
+        assert lat["a100"] < lat["orin-nx"] < lat["rpi4b"]
+
+    def test_achieved_below_peak_everywhere(self):
+        for p, be, prec in [("a100", "trt-sim", "fp16"),
+                            ("xeon6330", "ort-sim", "fp32")]:
+            profiler = Profiler(be, p, prec)
+            report = profiler.profile(resnet50(batch_size=4))
+            assert report.end_to_end.achieved_flops < report.peak_flops
+            assert report.end_to_end.achieved_bandwidth < report.peak_bandwidth * 1.2

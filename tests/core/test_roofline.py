@@ -1,0 +1,83 @@
+"""Roofline-model math tests."""
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.roofline import Roofline, RooflinePoint, roofline_for
+from repro.hardware.specs import platform
+from repro.ir.tensor import DataType
+
+
+ROOF = Roofline("test", peak_flops=100e12, peak_bandwidth=1e12)
+
+
+def test_ridge_point():
+    assert ROOF.ridge_intensity == 100.0
+
+
+def test_attainable_below_and_above_ridge():
+    assert ROOF.attainable_flops(10) == 10e12      # memory roof
+    assert ROOF.attainable_flops(1000) == 100e12   # compute roof
+    assert ROOF.attainable_flops(100) == 100e12    # exactly at the ridge
+
+
+def test_memory_bound_classification():
+    assert ROOF.is_memory_bound(10)
+    assert not ROOF.is_memory_bound(200)
+
+
+def test_negative_intensity_rejected():
+    with pytest.raises(ValueError):
+        ROOF.attainable_flops(-1)
+
+
+def test_invalid_ceilings_rejected():
+    with pytest.raises(ValueError):
+        Roofline("bad", 0, 1)
+    with pytest.raises(ValueError):
+        Roofline("bad", 1, -5)
+
+
+def test_efficiency_of_point():
+    p = RooflinePoint("m", arithmetic_intensity=10, achieved_flops=5e12)
+    assert ROOF.efficiency(p) == pytest.approx(0.5)
+    assert ROOF.compute_efficiency(p) == pytest.approx(0.05)
+
+
+def test_envelope_series_monotone_nondecreasing():
+    series = ROOF.envelope_series()
+    ys = [y for _, y in series]
+    assert ys == sorted(ys)
+    assert ys[-1] == ROOF.peak_flops
+
+
+def test_envelope_series_validation():
+    with pytest.raises(ValueError):
+        ROOF.envelope_series(ai_min=-1)
+    with pytest.raises(ValueError):
+        ROOF.envelope_series(ai_min=8, ai_max=4)
+
+
+def test_with_bandwidth_keeps_compute_roof():
+    lower = ROOF.with_bandwidth(0.5e12, "half")
+    assert lower.peak_flops == ROOF.peak_flops
+    assert lower.ridge_intensity == 200.0
+
+
+def test_roofline_for_platform():
+    spec = platform("a100")
+    roof = roofline_for(spec, DataType.FLOAT16)
+    assert roof.peak_flops == spec.peak_flops(DataType.FLOAT16)
+    assert roof.peak_bandwidth == spec.achievable_bandwidth
+    nominal = roofline_for(spec, DataType.FLOAT16, achieved=False)
+    assert nominal.peak_bandwidth == spec.dram_bandwidth
+
+
+@given(st.floats(0.01, 1e6))
+@settings(max_examples=50)
+def test_attainable_never_exceeds_either_roof(ai):
+    got = ROOF.attainable_flops(ai)
+    assert got <= ROOF.peak_flops + 1e-6
+    assert got <= ai * ROOF.peak_bandwidth + 1e-6
+    assert got == pytest.approx(min(ROOF.peak_flops, ai * ROOF.peak_bandwidth))

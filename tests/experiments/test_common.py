@@ -1,0 +1,72 @@
+"""Tests for the experiment utilities and the EXPERIMENTS.md runner."""
+import math
+
+import pytest
+
+from repro.experiments.common import (ExperimentMeta, markdown_table,
+                                      pct_diff, ratio_str)
+
+
+class TestPctDiff:
+    def test_basic(self):
+        assert pct_diff(110, 100) == pytest.approx(10.0)
+        assert pct_diff(90, 100) == pytest.approx(-10.0)
+        assert pct_diff(100, 100) == 0.0
+
+    def test_zero_reference(self):
+        assert pct_diff(5, 0) == math.inf
+        assert pct_diff(0, 0) == 0.0
+
+
+def test_ratio_str():
+    assert ratio_str(3, 2) == "1.50x"
+    assert ratio_str(1, 0) == "n/a"
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        md = markdown_table(["a", "b"], [[1, 2.5], ["x", 0.001]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        md = markdown_table(["v"], [[1234.5678], [0.0001234], [0], [1.5]])
+        assert "1.23e+03" in md
+        assert "0.000123" in md
+        assert "| 0 |" in md
+        assert "| 1.5 |" in md
+
+    def test_meta_frozen(self):
+        meta = ExperimentMeta("Table 9", "t", "9.9")
+        with pytest.raises(AttributeError):
+            meta.title = "other"
+
+
+class TestRunner:
+    def test_selected_experiment_only(self, tmp_path):
+        from repro.experiments.runner import run_all
+        content = run_all(only=["table2"])
+        assert "Table 2" in content
+        assert "Table 5" not in content
+        assert content.startswith("# EXPERIMENTS")
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+        out = tmp_path / "EXP.md"
+        rc = main(["--out", str(out), "--only", "table2",
+                   "--charts", str(tmp_path / "charts")])
+        assert rc == 0
+        assert out.exists()
+        assert "Table 2" in out.read_text()
+
+    def test_experiment_registry_complete(self):
+        from repro.experiments.runner import EXPERIMENTS
+        assert {"table1", "table2", "table3", "table4", "fig4", "fig5",
+                "table5", "table6", "fig8", "table7",
+                "ablation-fusion"} <= set(EXPERIMENTS)
+        for module, _charts in EXPERIMENTS.values():
+            assert hasattr(module, "run")
+            assert hasattr(module, "to_markdown")
+            assert hasattr(module, "META")

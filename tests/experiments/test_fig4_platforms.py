@@ -1,0 +1,82 @@
+"""Cross-platform Figure 4 sub-plot shape tests (the subplots the main
+shape suite does not cover: CPU, desktop GPU, edge, int8)."""
+import pytest
+
+from repro.experiments import fig4_end_to_end
+
+
+def _plot(plot_id):
+    cfg = next(c for c in fig4_end_to_end.PLOTS if c.plot_id == plot_id)
+    return fig4_end_to_end.run([cfg])[0]
+
+
+@pytest.fixture(scope="module")
+def xeon():
+    return _plot("xeon6330-fp32")
+
+
+@pytest.fixture(scope="module")
+def rpi():
+    return _plot("rpi4b-fp32")
+
+
+@pytest.fixture(scope="module")
+def orin():
+    return _plot("orin-nx-fp16")
+
+
+@pytest.fixture(scope="module")
+def a100_int8():
+    return _plot("a100-int8")
+
+
+def test_cpu_plots_are_cnn_only(xeon, rpi):
+    for sub in (xeon, rpi):
+        models = {p.model for p in sub.points}
+        assert "vit-base" not in models and "distilbert" not in models
+        assert "resnet50" in models
+
+
+def test_rpi_absolute_performance_tiny(rpi):
+    """Edge CPU: everything runs at GFLOP/s scale, not TFLOP/s."""
+    for p in rpi.points:
+        assert p.achieved_tflops < 0.05
+    # ResNet-50 takes on the order of seconds at bs=4 (paper-scale)
+    resnet = next(p for p in rpi.points if p.model == "resnet50")
+    assert 0.2e3 < resnet.latency_ms < 60e3
+
+
+def test_orin_between_rpi_and_a100(orin, rpi):
+    from repro.experiments.fig4_end_to_end import PLOTS, run
+    a100 = run([PLOTS[0]])[0]
+    def latency_per_image(sub, model):
+        p = next(p for p in sub.points if p.model == model)
+        return p.latency_ms / sub.config.batch_size
+    assert latency_per_image(a100, "resnet50") < \
+        latency_per_image(orin, "resnet50") < \
+        latency_per_image(rpi, "resnet50")
+
+
+def test_int8_doubles_the_roofline(a100_int8):
+    from repro.experiments.fig4_end_to_end import PLOTS, run
+    fp16 = run([PLOTS[0]])[0]
+    assert a100_int8.peak_tflops == pytest.approx(2 * fp16.peak_tflops)
+    # int8 runs faster for the compute-heavy models
+    for model in ("resnet50", "vit-base"):
+        l8 = next(p for p in a100_int8.points if p.model == model).latency_ms
+        l16 = next(p for p in fp16.points if p.model == model).latency_ms
+        assert l8 < l16
+
+
+def test_int8_excludes_stable_diffusion(a100_int8):
+    """Footnote 5: the SD UNet fails int8 conversion."""
+    models = {p.model for p in a100_int8.points}
+    assert "sd-unet" not in models
+
+
+def test_markdown_renders_all_subplots():
+    subs = fig4_end_to_end.run([fig4_end_to_end.PLOTS[0],
+                                fig4_end_to_end.PLOTS[-1]])
+    md = fig4_end_to_end.to_markdown(subs)
+    assert "a100-fp16" in md and "npu3720-fp16" in md
+    assert "skipped" in md

@@ -1,0 +1,132 @@
+"""Counter-simulator tests: hardware FLOP semantics and profiling cost."""
+import pytest
+
+from repro.analysis.opdefs import OpClass, cost_of
+from repro.hardware.counters import (CounterMeasurement, CounterProfiler,
+                                     HMMA_CORRECTION_RESIDUAL,
+                                     NCU_HMMA_FIXED_FLOP, _name_jitter)
+from repro.hardware.specs import platform
+from repro.ir.builder import GraphBuilder
+from repro.ir.tensor import DataType
+
+A100 = platform("a100")
+F16 = DataType.FLOAT16
+
+
+def single_node_graph(construct):
+    b = GraphBuilder("t")
+    out = construct(b)
+    g = b.finish(out)
+    return g, g.producer(out)
+
+
+class TestHardwareFlop:
+    def test_aligned_conv_close_to_model(self):
+        g, node = single_node_graph(
+            lambda b: b.conv(b.input("x", (8, 64, 28, 28)), 64, 3,
+                             padding=1, bias=False))
+        prof = CounterProfiler(A100)
+        hw = prof.node_hardware_flop(node, g.tensor, F16)
+        model = cost_of(node, g.tensor, F16).flop
+        assert hw == pytest.approx(model, rel=0.15)
+        assert hw >= model  # padding only adds
+
+    def test_odd_channel_conv_pads_up(self):
+        g, node = single_node_graph(
+            lambda b: b.conv(b.input("x", (8, 3, 28, 28)), 24, 3,
+                             padding=1, bias=False))
+        prof = CounterProfiler(A100)
+        hw = prof.node_hardware_flop(node, g.tensor, F16)
+        model = cost_of(node, g.tensor, F16).flop
+        # Cin*9 = 27 pads to 32 within the K tile: > 15% overhead
+        assert hw > model * 1.1
+
+    def test_depthwise_vector_path_padding(self):
+        g, node = single_node_graph(
+            lambda b: b.depthwise_conv(b.input("x", (8, 24, 28, 28)), 3,
+                                       padding=1, bias=False))
+        prof = CounterProfiler(A100)
+        hw = prof.node_hardware_flop(node, g.tensor, F16)
+        model = cost_of(node, g.tensor, F16).flop
+        assert hw > model  # 24 channels pad to the SIMD width
+
+    def test_matmul_hmma_residual_reads_low_when_aligned(self):
+        g, node = single_node_graph(
+            lambda b: b.matmul(b.input("a", (64, 256, 512)),
+                               b.input("c", (512, 256))))
+        prof = CounterProfiler(A100)
+        hw = prof.node_hardware_flop(node, g.tensor, F16)
+        model = cost_of(node, g.tensor, F16).flop
+        # perfectly aligned dims: only the correction residual remains
+        assert hw == pytest.approx(model * HMMA_CORRECTION_RESIDUAL)
+
+    def test_sfu_ops_nearly_invisible(self):
+        g, node = single_node_graph(lambda b: b.node("Erf", [
+            b.input("x", (1000,))]))
+        prof = CounterProfiler(A100)
+        hw = prof.node_hardware_flop(node, g.tensor, F16)
+        model = cost_of(node, g.tensor, F16).flop
+        assert hw < model / 2
+
+    def test_ncu_quirk_constant_documented(self):
+        assert NCU_HMMA_FIXED_FLOP == 512
+        assert 0 < HMMA_CORRECTION_RESIDUAL <= 1
+
+
+class TestMeasurement:
+    def _measure(self, construct, op_class):
+        g, node = single_node_graph(construct)
+        prof = CounterProfiler(A100)
+        cost = cost_of(node, g.tensor, F16)
+        return prof.measure("layer", [node], g.tensor, cost.memory_bytes,
+                            op_class, F16), cost
+
+    def test_memory_factor_data_movement_above_one(self):
+        meas, cost = self._measure(
+            lambda b: b.transpose(b.input("x", (64, 128, 32)), (0, 2, 1)),
+            OpClass.DATA_MOVEMENT)
+        assert meas.memory_bytes > cost.memory_bytes * 1.05
+
+    def test_memory_factor_matmul_below_one(self):
+        meas, cost = self._measure(
+            lambda b: b.matmul(b.input("a", (256, 512)),
+                               b.input("c", (512, 256))),
+            OpClass.MATMUL)
+        assert meas.memory_bytes < cost.memory_bytes
+
+    def test_folded_members_skipped(self):
+        b = GraphBuilder("t")
+        x = b.input("x", (1, 8, 14, 14))
+        c = b.conv(x, 8, 3, padding=1, name="conv", bias=False)
+        bn = b.batchnorm(c, name="bn")
+        g = b.finish(bn)
+        prof = CounterProfiler(A100)
+        nodes = [g.producer(c), g.producer(bn)]
+        with_bn = prof.measure("l", nodes, g.tensor, 1e6,
+                               OpClass.CONV, F16)
+        without = prof.measure("l", nodes, g.tensor, 1e6,
+                               OpClass.CONV, F16, folded=["bn"])
+        assert without.hardware_flop < with_bn.hardware_flop
+
+    def test_jitter_deterministic_and_small(self):
+        assert _name_jitter("abc") == _name_jitter("abc")
+        assert _name_jitter("abc") != _name_jitter("abd")
+        for name in ("a", "b", "xyz", "layer42"):
+            assert 0.98 <= _name_jitter(name) <= 1.02
+
+
+class TestProfilingOverhead:
+    def test_replay_cost_scales_with_kernels(self):
+        prof = CounterProfiler(A100)
+        meas = [CounterMeasurement(f"l{i}", 1e9, 1e6, 1) for i in range(10)]
+        small = prof.profiling_seconds(meas[:5], [1e-4] * 5)
+        large = prof.profiling_seconds(meas, [1e-4] * 10)
+        assert large == pytest.approx(small * 2)
+
+    def test_overhead_dwarfs_inference(self):
+        """Table 4's point: counter profiling costs minutes, inference ms."""
+        prof = CounterProfiler(A100)
+        meas = [CounterMeasurement(f"l{i}", 1e9, 1e6, 1) for i in range(60)]
+        layer_secs = [1.5e-4] * 60
+        overhead = prof.profiling_seconds(meas, layer_secs)
+        assert overhead > 1000 * sum(layer_secs)

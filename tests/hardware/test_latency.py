@@ -1,0 +1,158 @@
+"""Latency-simulator tests: the roofline-with-efficiency model."""
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.opdefs import OpClass
+from repro.hardware.latency import (Bound, LatencySimulator, LayerTiming,
+                                    WorkItem, tile_quantization)
+from repro.hardware.specs import platform
+from repro.ir.tensor import DataType
+
+A100 = platform("a100")
+F16 = DataType.FLOAT16
+
+
+def item(flop=0.0, read=0.0, write=0.0, op_class=OpClass.MATMUL,
+         gemm=None, name="l"):
+    return WorkItem(name, flop, read, write, op_class, F16, gemm)
+
+
+class TestWorkItem:
+    def test_arithmetic_intensity(self):
+        it = item(flop=1000, read=100, write=100)
+        assert it.arithmetic_intensity == 5.0
+
+    def test_zero_memory_infinite_ai(self):
+        assert item(flop=10).arithmetic_intensity == math.inf
+        assert item().arithmetic_intensity == 0.0
+
+
+class TestBounds:
+    def test_huge_matmul_is_compute_bound(self):
+        sim = LatencySimulator(A100)
+        t = sim.time(item(flop=1e12, read=1e8, write=1e8,
+                          gemm=(4096, 4096, 4096)))
+        assert t.bound is Bound.COMPUTE
+        assert t.seconds > 0
+
+    def test_copy_is_memory_bound(self):
+        sim = LatencySimulator(A100)
+        t = sim.time(item(read=1e9, write=1e9,
+                          op_class=OpClass.DATA_MOVEMENT))
+        assert t.bound is Bound.MEMORY
+
+    def test_tiny_kernel_pays_fixed_costs(self):
+        """Small kernels bottom out at launch + underutilized-transfer
+        cost: the utilization ramp makes tiny copies cost a near-constant
+        few microseconds regardless of size."""
+        sim = LatencySimulator(A100)
+        t64 = sim.time(item(read=64, write=64,
+                            op_class=OpClass.ELEMENTWISE))
+        t4k = sim.time(item(read=4096, write=4096,
+                            op_class=OpClass.ELEMENTWISE))
+        assert t64.seconds >= A100.kernel_launch_overhead
+        assert t64.seconds == pytest.approx(t4k.seconds, rel=0.05)
+
+    def test_launch_bound_when_body_trivial(self):
+        spec = platform("rtx4090")
+        sim = LatencySimulator(spec)
+        t = sim.time(item(flop=0, read=8, write=8,
+                          op_class=OpClass.REDUCTION))
+        assert t.seconds >= spec.kernel_launch_overhead
+
+    def test_zero_cost_skips_launch(self):
+        sim = LatencySimulator(A100)
+        t = sim.time(item(op_class=OpClass.ZERO_COST))
+        assert t.seconds == 0.0
+
+
+class TestEfficiencyModel:
+    def test_big_matmul_near_peak(self):
+        sim = LatencySimulator(A100)
+        t = sim.time(item(flop=1e13, read=1e9, write=1e9,
+                          gemm=(8192, 8192, 8192)))
+        assert t.achieved_flops > 0.7 * A100.peak_flops(F16)
+        assert t.achieved_flops < A100.peak_flops(F16)
+
+    def test_utilization_ramp_monotone(self):
+        sim = LatencySimulator(A100)
+        effs = [sim.compute_efficiency(item(flop=f, gemm=(1024, 1024, 1024)))
+                for f in (1e6, 1e8, 1e10, 1e12)]
+        assert effs == sorted(effs)
+
+    def test_depthwise_uses_vector_peak(self):
+        sim = LatencySimulator(A100)
+        assert sim.compute_peak(OpClass.DEPTHWISE_CONV, F16) == \
+            A100.vector_peak(F16)
+        assert sim.compute_peak(OpClass.CONV, F16) == A100.matrix_peak(F16)
+
+    def test_streaming_beats_transpose_bandwidth(self):
+        sim = LatencySimulator(A100)
+        stream = sim.memory_bandwidth(item(read=1e9, write=1e9,
+                                           op_class=OpClass.ELEMENTWISE))
+        transpose = sim.memory_bandwidth(item(read=1e9, write=1e9,
+                                              op_class=OpClass.DATA_MOVEMENT))
+        assert stream > 1.5 * transpose
+
+    def test_issue_cap_applies_on_orin(self):
+        orin = platform("orin-nx").scaled(compute_clock_mhz=510)
+        sim = LatencySimulator(orin)
+        bw = sim.memory_bandwidth(item(read=5e8, write=5e8,
+                                       op_class=OpClass.ELEMENTWISE))
+        assert bw <= orin.issue_bandwidth * 1.001
+
+    def test_negative_workload_rejected(self):
+        sim = LatencySimulator(A100)
+        with pytest.raises(ValueError):
+            sim.time(item(flop=-1))
+
+
+class TestTileQuantization:
+    def test_aligned_is_one(self):
+        assert tile_quantization((128, 128, 64), (64, 64, 32)) == 1.0
+
+    def test_unaligned_penalty(self):
+        # 49 tokens in a 64-wide tile: 49/64 wasted share
+        frac = tile_quantization((49, 64, 32), (64, 64, 32))
+        assert frac == pytest.approx(49 / 64)
+
+    def test_bounds(self):
+        for dims in [(1, 1, 1), (63, 65, 31), (1000, 1000, 1000)]:
+            frac = tile_quantization(dims, (64, 64, 32))
+            assert 0 < frac <= 1.0
+
+    def test_zero_dim_neutral(self):
+        assert tile_quantization((0, 10, 10), (64, 64, 32)) == 1.0
+
+
+class TestTotals:
+    def test_total_is_sum(self):
+        sim = LatencySimulator(A100)
+        items = [item(flop=1e9, read=1e7, write=1e7, name=f"l{i}")
+                 for i in range(4)]
+        assert sim.total_seconds(items) == pytest.approx(
+            sum(sim.time(it).seconds for it in items))
+
+
+@given(st.floats(1e3, 1e13), st.floats(1e2, 1e10), st.floats(1e2, 1e10))
+@settings(max_examples=60, deadline=None)
+def test_latency_positive_and_bounded_below_by_ideal(flop, read, write):
+    """Simulated time can never beat the ideal roofline time."""
+    sim = LatencySimulator(A100)
+    t = sim.time(item(flop=flop, read=read, write=write,
+                      op_class=OpClass.CONV))
+    ideal = max(flop / A100.peak_flops(F16),
+                (read + write) / A100.dram_bandwidth)
+    assert t.seconds >= ideal
+    assert math.isfinite(t.seconds)
+
+
+@given(st.floats(1e6, 1e12))
+@settings(max_examples=30, deadline=None)
+def test_more_flop_never_faster(flop):
+    sim = LatencySimulator(A100)
+    base = sim.time(item(flop=flop, read=1e6, write=1e6)).seconds
+    more = sim.time(item(flop=flop * 2, read=1e6, write=1e6)).seconds
+    assert more >= base

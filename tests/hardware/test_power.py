@@ -1,0 +1,94 @@
+"""Power-model tests, calibrated against the paper's Tables 6 & 7."""
+import pytest
+
+from repro.hardware.power import CpuCluster, PowerModel, PowerReading
+from repro.hardware.specs import platform
+
+
+ORIN = platform("orin-nx")
+
+
+def test_requires_coefficients():
+    with pytest.raises(ValueError, match="no power model"):
+        PowerModel(platform("a100"))
+
+
+def test_power_increases_with_utilization():
+    pm = PowerModel(ORIN)
+    idle = pm.power(0.0, 0.0).watts
+    half = pm.power(0.5, 0.5).watts
+    full = pm.power(1.0, 1.0).watts
+    assert idle < half < full
+
+
+def test_power_scales_with_clocks():
+    full = PowerModel(ORIN).power(0.5, 0.5).watts
+    down = PowerModel(ORIN.scaled(510, 2133)).power(0.5, 0.5).watts
+    assert down < full
+
+
+def test_partition_gating_saves_power():
+    full = PowerModel(ORIN).power(0.5, 0.5).watts
+    gated = PowerModel(ORIN.scaled(active_partitions=2)).power(0.5, 0.5).watts
+    assert gated < full
+
+
+def test_cpu_clusters_add_flat_power():
+    pm = PowerModel(ORIN)
+    none = pm.power(0.3, 0.3, cpu_clusters=[]).watts
+    one = pm.power(0.3, 0.3, cpu_clusters=[CpuCluster(729)]).watts
+    two = pm.power(0.3, 0.3,
+                   cpu_clusters=[CpuCluster(729), CpuCluster(729)]).watts
+    off = pm.power(0.3, 0.3,
+                   cpu_clusters=[CpuCluster(729), CpuCluster(0)]).watts
+    assert one - none == pytest.approx(ORIN.power_cpu_cluster_w)
+    assert two - one == pytest.approx(ORIN.power_cpu_cluster_w)
+    assert off == pytest.approx(one)
+
+
+def test_utilization_clamped():
+    pm = PowerModel(ORIN)
+    assert pm.power(5.0, -1.0).compute_utilization == 1.0
+    assert pm.power(5.0, -1.0).memory_utilization == 0.0
+
+
+def test_utilization_of_run():
+    pm = PowerModel(ORIN)
+    u_c, u_m = pm.utilization_of_run(ORIN.peak_flops.__call__(
+        __import__("repro.ir.tensor", fromlist=["DataType"]).DataType.FLOAT16),
+        ORIN.dram_bandwidth, 1.0)
+    assert u_c == pytest.approx(1.0)
+    assert u_m == pytest.approx(1.0)
+    assert pm.utilization_of_run(1, 1, 0) == (0.0, 0.0)
+
+
+def test_busy_fractions_partition_latency():
+    from repro.core.profiler import Profiler
+    from repro.models import resnet50
+    report = Profiler("trt-sim", ORIN, "fp16").profile(resnet50(batch_size=8))
+    pm = PowerModel(ORIN)
+    u_c, u_m = pm.busy_fractions(report)
+    assert 0 <= u_c <= 1 and 0 <= u_m <= 1
+    assert u_c + u_m == pytest.approx(1.0)
+
+
+class TestPaperCalibration:
+    """Against Table 6 (peak test) and Table 7 (EfficientNetV2-T)."""
+
+    def test_table6_power_within_1_5w(self):
+        from repro.core.peaktest import measure_peaks
+        targets = {(918, 3199): 23.6, (510, 2133): 13.6, (510, 665): 11.5}
+        for (g, m), watts in targets.items():
+            result = measure_peaks(ORIN.scaled(g, m))
+            assert result.power_watts == pytest.approx(watts, abs=1.5)
+
+    def test_table7_maxn_and_optimal(self):
+        from repro.experiments import table7_power
+        rows = {r.profile.row: r for r in table7_power.run()}
+        assert rows[1].power_w == pytest.approx(23.2, abs=2.0)
+        assert rows[10].power_w == pytest.approx(14.7, abs=2.0)
+        # the tuned profile draws less than MAXN and runs much faster
+        # than the stock in-budget profiles
+        assert rows[10].power_w < rows[1].power_w
+        assert rows[10].latency_ms < rows[2].latency_ms
+        assert rows[10].latency_ms < rows[3].latency_ms

@@ -1,0 +1,102 @@
+"""HardwareSpec tests: platform roster, peaks, clock scaling."""
+import pytest
+
+from repro.analysis.opdefs import OpClass
+from repro.hardware.specs import PLATFORMS, platform, platform_names
+from repro.ir.tensor import DataType
+
+F16, F32, I8 = DataType.FLOAT16, DataType.FLOAT32, DataType.INT8
+
+
+def test_all_seven_paper_platforms_present():
+    assert set(platform_names()) == {
+        "a100", "rtx4090", "xeon6330", "xavier-nx", "orin-nx", "rpi4b",
+        "npu3720"}
+
+
+def test_lookup_case_insensitive_and_errors():
+    assert platform("A100") is platform("a100")
+    with pytest.raises(KeyError, match="unknown platform"):
+        platform("h100")
+
+
+def test_a100_peaks():
+    spec = platform("a100")
+    assert spec.peak_flops(F16) == pytest.approx(312e12)
+    assert spec.peak_flops(I8) == pytest.approx(624e12)
+    assert spec.dram_bandwidth == pytest.approx(1555e9)
+
+
+def test_int8_at_least_fp16_everywhere():
+    for spec in PLATFORMS.values():
+        assert spec.peak_flops(I8) >= spec.peak_flops(F16) * 0.99
+
+
+def test_vector_fallbacks():
+    xeon = platform("xeon6330")
+    # no matrix units: matrix peak falls back to the vector path
+    assert xeon.matrix_peak(F16) == xeon.vector_peak(F16)
+    # fp16 on the Pi executes at fp32 rate
+    rpi = platform("rpi4b")
+    assert rpi.vector_peak(F16) == rpi.vector_peak(F32)
+
+
+def test_rpi_achievable_bandwidth_is_axi_limited():
+    rpi = platform("rpi4b")
+    assert rpi.achievable_bandwidth == pytest.approx(5.5e9, rel=0.05)
+
+
+def test_ridge_intensity():
+    spec = platform("a100")
+    assert spec.ridge_intensity(F16) == pytest.approx(
+        spec.peak_flops(F16) / spec.achievable_bandwidth)
+
+
+class TestClockScaling:
+    def test_compute_scales_with_gpu_clock(self):
+        orin = platform("orin-nx")
+        half = orin.scaled(compute_clock_mhz=459)
+        assert half.peak_flops(F16) == pytest.approx(orin.peak_flops(F16) / 2)
+        assert half.dram_bandwidth == orin.dram_bandwidth
+
+    def test_bandwidth_scales_with_memory_clock(self):
+        orin = platform("orin-nx")
+        slow = orin.scaled(memory_clock_mhz=665)
+        assert slow.dram_bandwidth == pytest.approx(
+            orin.dram_bandwidth * 665 / 3199)
+        assert slow.peak_flops(F16) == orin.peak_flops(F16)
+
+    def test_issue_bandwidth_tracks_compute_clock(self):
+        orin = platform("orin-nx")
+        slow = orin.scaled(compute_clock_mhz=510)
+        assert slow.issue_bandwidth == pytest.approx(
+            orin.issue_bandwidth * 510 / 918)
+
+    def test_partition_gating_halves_compute(self):
+        orin = platform("orin-nx")
+        gated = orin.scaled(active_partitions=2)
+        assert gated.peak_flops(F16) == pytest.approx(
+            orin.peak_flops(F16) / 2)
+
+    def test_fixed_clock_platform_rejects_scaling(self):
+        with pytest.raises(ValueError, match="fixed clocks"):
+            platform("a100").scaled(compute_clock_mhz=1000)
+
+    def test_invalid_arguments(self):
+        orin = platform("orin-nx")
+        with pytest.raises(ValueError):
+            orin.scaled(compute_clock_mhz=-1)
+        with pytest.raises(ValueError):
+            orin.scaled(active_partitions=9)
+
+    def test_scaled_name_encodes_clocks(self):
+        assert "510" in platform("orin-nx").scaled(510, 2133).name
+
+
+def test_class_efficiency_complete():
+    for spec in PLATFORMS.values():
+        for klass in OpClass:
+            assert klass in spec.class_efficiency
+            assert 0 < spec.class_efficiency[klass] <= 1.0
+            assert klass in spec.memory_efficiency
+            assert 0 < spec.memory_efficiency[klass] <= 1.0

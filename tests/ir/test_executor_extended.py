@@ -1,0 +1,103 @@
+"""Extended-op executor tests and shape-inference/executor parity."""
+import numpy as np
+import pytest
+
+from repro.ir.executor import supported_ops
+from repro.ir.shape_inference import registered_ops
+from tests.ir.test_executor import run_single
+
+
+class TestExtendedActivations:
+    def test_elu(self):
+        x = np.asarray([-2.0, 0.0, 3.0], np.float32)
+        got = run_single("Elu", {"x": x})
+        want = np.where(x > 0, x, np.exp(np.minimum(x, 0)) - 1)
+        np.testing.assert_allclose(got, want, rtol=1e-5)
+
+    def test_selu_fixed_points(self):
+        x = np.asarray([0.0, 1.0], np.float32)
+        got = run_single("Selu", {"x": x})
+        np.testing.assert_allclose(got, [0.0, 1.0507010], rtol=1e-5)
+
+    def test_prelu(self):
+        x = np.asarray([-4.0, 4.0], np.float32)
+        slope = np.asarray([0.25], np.float32)
+        got = run_single("PRelu", {"x": x, "s": slope})
+        np.testing.assert_allclose(got, [-1.0, 4.0])
+
+
+class TestSpaceDepth:
+    def test_depth_to_space_roundtrip(self):
+        x = np.random.default_rng(0).normal(size=(2, 8, 3, 3)).astype(np.float32)
+        up = run_single("DepthToSpace", {"x": x}, attrs={"blocksize": 2})
+        assert up.shape == (2, 2, 6, 6)
+        back = run_single("SpaceToDepth", {"x": up}, attrs={"blocksize": 2})
+        assert back.shape == x.shape
+
+    def test_space_to_depth_inverse_of_depth_to_space_crd(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 2, 2)
+        up = run_single("DepthToSpace", {"x": x},
+                        attrs={"blocksize": 2, "mode": "CRD"})
+        assert up.shape == (1, 1, 4, 4)
+
+
+class TestMisc:
+    def test_cumsum(self):
+        x = np.asarray([[1, 2, 3]], np.float32)
+        got = run_single("CumSum", {"x": x,
+                                    "axis": np.asarray(1, np.int64)})
+        np.testing.assert_array_equal(got, [[1, 3, 6]])
+
+    def test_trilu_upper_lower(self):
+        x = np.ones((3, 3), np.float32)
+        up = run_single("Trilu", {"x": x}, attrs={"upper": 1})
+        lo = run_single("Trilu", {"x": x}, attrs={"upper": 0})
+        np.testing.assert_array_equal(up, np.triu(x))
+        np.testing.assert_array_equal(lo, np.tril(x))
+
+    def test_onehot(self):
+        got = run_single("OneHot", {
+            "i": np.asarray([0, 2], np.int64),
+            "d": np.asarray(3, np.int64),
+            "v": np.asarray([0.0, 1.0], np.float32)})
+        np.testing.assert_array_equal(got, [[1, 0, 0], [0, 0, 1]])
+
+    def test_range(self):
+        got = run_single("Range", {
+            "s": np.asarray(1, np.int64), "l": np.asarray(9, np.int64),
+            "d": np.asarray(3, np.int64)})
+        np.testing.assert_array_equal(got, [1, 4, 7])
+
+    def test_topk_values_and_indices(self):
+        x = np.asarray([[3.0, 1.0, 4.0, 1.5]], np.float32)
+        vals, idx = run_single("TopK", {"x": x, "k": np.asarray([2], np.int64)},
+                               attrs={"axis": 1}, n_outputs=2)
+        np.testing.assert_array_equal(vals, [[4.0, 3.0]])
+        np.testing.assert_array_equal(idx, [[2, 0]])
+
+    def test_gather_elements(self):
+        x = np.asarray([[1.0, 2.0], [3.0, 4.0]], np.float32)
+        idx = np.asarray([[0, 0], [1, 0]], np.int64)
+        got = run_single("GatherElements", {"x": x, "i": idx},
+                         attrs={"axis": 1})
+        np.testing.assert_array_equal(got, [[1, 1], [4, 3]])
+
+
+def test_executor_covers_zoo_op_surface():
+    """Every op type any zoo model emits must be executable."""
+    from repro.models import MODEL_ZOO
+    needed = set()
+    for key in ("resnet50", "mobilenetv2-10", "shufflenetv2-10",
+                "efficientnetv2-t", "vit-tiny", "distilbert"):
+        graph = MODEL_ZOO[key].build(batch_size=1)
+        needed |= set(graph.op_type_histogram())
+    missing = needed - set(supported_ops())
+    assert not missing, f"executor missing {missing}"
+
+
+def test_inference_registry_superset_of_executor_for_core_ops():
+    """Anything executable should also shape-infer (so builders and the
+    constant folder can rely on it)."""
+    core = set(supported_ops()) - {"LogSoftmax"}
+    missing = core - set(registered_ops())
+    assert not missing, f"shape inference missing {missing}"

@@ -1,0 +1,144 @@
+"""Unit tests for the Graph container: topology, validation, queries."""
+import numpy as np
+import pytest
+
+from repro.ir.graph import Graph, GraphError
+from repro.ir.node import Node
+from repro.ir.tensor import DataType, Initializer, TensorInfo
+
+
+def diamond() -> Graph:
+    """x -> relu -> (a, b branches) -> add -> y"""
+    g = Graph(
+        "diamond",
+        inputs=[TensorInfo("x", (1, 4))],
+        outputs=[TensorInfo("y", (1, 4))],
+    )
+    g.add_node(Node("Relu", ["x"], ["r"], name="relu"))
+    g.add_node(Node("Neg", ["r"], ["a"], name="neg"))
+    g.add_node(Node("Abs", ["r"], ["b"], name="abs"))
+    g.add_node(Node("Add", ["a", "b"], ["y"], name="add"))
+    return g
+
+
+def test_producer_consumer_maps():
+    g = diamond()
+    assert g.producer("r").name == "relu"
+    assert {n.name for n in g.consumers("r")} == {"neg", "abs"}
+    assert g.producer("x") is None
+    assert g.consumers("y") == []
+
+
+def test_toposort_order_respects_deps():
+    g = diamond()
+    order = [n.name for n in g.toposort()]
+    assert order.index("relu") < order.index("neg")
+    assert order.index("neg") < order.index("add")
+    assert order.index("abs") < order.index("add")
+
+
+def test_toposort_detects_cycle():
+    g = Graph("cyc", inputs=[TensorInfo("x", (1,))],
+              outputs=[TensorInfo("b", (1,))])
+    g.add_node(Node("Add", ["x", "b"], ["a"]))
+    g.add_node(Node("Relu", ["a"], ["b"]))
+    with pytest.raises(GraphError, match="cycle"):
+        g.toposort()
+
+
+def test_undefined_input_detected():
+    g = Graph("bad", inputs=[TensorInfo("x", (1,))],
+              outputs=[TensorInfo("y", (1,))])
+    g.add_node(Node("Add", ["x", "ghost"], ["y"]))
+    with pytest.raises(GraphError, match="undefined"):
+        g.toposort()
+
+
+def test_duplicate_producer_detected():
+    g = Graph("dup", inputs=[TensorInfo("x", (1,))],
+              outputs=[TensorInfo("y", (1,))])
+    g.add_node(Node("Relu", ["x"], ["y"], name="r1"))
+    g.add_node(Node("Abs", ["x"], ["y"], name="r2"))
+    with pytest.raises(GraphError, match="produced by both"):
+        g.producer_map()
+
+
+def test_validate_missing_output():
+    g = Graph("miss", inputs=[TensorInfo("x", (1,))],
+              outputs=[TensorInfo("nope", (1,))])
+    g.add_node(Node("Relu", ["x"], ["y"]))
+    with pytest.raises(GraphError, match="never produced"):
+        g.validate()
+
+
+def test_validate_duplicate_node_names():
+    g = Graph("dupname", inputs=[TensorInfo("x", (1,))],
+              outputs=[TensorInfo("b", (1,))])
+    g.add_node(Node("Relu", ["x"], ["a"], name="n"))
+    g.add_node(Node("Relu", ["a"], ["b"], name="n"))
+    with pytest.raises(GraphError, match="duplicate node names"):
+        g.validate()
+
+
+def test_initializer_duplicate_rejected():
+    g = Graph("g")
+    g.add_initializer(Initializer(TensorInfo("w", (1,))))
+    with pytest.raises(GraphError, match="duplicate initializer"):
+        g.add_initializer(Initializer(TensorInfo("w", (1,))))
+
+
+def test_num_parameters_floats_only():
+    g = Graph("g")
+    g.add_initializer(Initializer(TensorInfo("w", (10, 10))))
+    g.add_initializer(Initializer(TensorInfo("shape", (4,), DataType.INT64)))
+    assert g.num_parameters() == 100
+    assert g.parameter_bytes() == 400
+
+
+def test_op_type_histogram():
+    g = diamond()
+    hist = g.op_type_histogram()
+    assert hist == {"Relu": 1, "Neg": 1, "Abs": 1, "Add": 1}
+
+
+def test_tensor_lookup_requires_value_info_for_intermediates():
+    g = diamond()
+    with pytest.raises(KeyError):
+        g.tensor("r")
+    g.value_info["r"] = TensorInfo("r", (1, 4))
+    assert g.tensor("r").shape == (1, 4)
+    assert g.tensor("x").shape == (1, 4)  # graph input always visible
+
+
+def test_ancestors_between_stops_at_inputs():
+    g = diamond()
+    nodes = g.ancestors_between({"r"}, {"y"})
+    assert [n.name for n in nodes] == ["neg", "abs", "add"]
+    all_nodes = g.ancestors_between({"x"}, {"y"})
+    assert [n.name for n in all_nodes] == ["relu", "neg", "abs", "add"]
+
+
+def test_remove_nodes_invalidates_cache():
+    g = diamond()
+    g.toposort()
+    add = g.producer("y")
+    g.remove_nodes([add])
+    assert len(g) == 3
+    assert g.producer("y") is None
+
+
+def test_copy_shares_initializer_data_but_not_nodes():
+    g = diamond()
+    g.add_initializer(Initializer(TensorInfo("w", (2,)), np.ones(2)))
+    c = g.copy()
+    c.nodes[0].inputs[0] = "other"
+    assert g.nodes[0].inputs[0] == "x"
+    assert c.initializers["w"].data is g.initializers["w"].data
+
+
+def test_mutation_invalidates_toposort_cache():
+    g = diamond()
+    first = g.toposort()
+    g.add_node(Node("Relu", ["y"], ["z"], name="tail"))
+    second = g.toposort()
+    assert len(second) == len(first) + 1

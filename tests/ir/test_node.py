@@ -1,0 +1,92 @@
+"""Unit tests for graph nodes."""
+import numpy as np
+import pytest
+
+from repro.ir.node import Node
+
+
+def test_basic_construction():
+    n = Node("Conv", ["x", "w"], ["y"], name="conv1",
+             attrs={"strides": [1, 1], "group": 1})
+    assert n.op_type == "Conv"
+    assert n.int_attr("group") == 1
+    assert n.ints_attr("strides") == (1, 1)
+
+
+def test_empty_op_type_rejected():
+    with pytest.raises(ValueError):
+        Node("", ["x"], ["y"])
+
+
+def test_no_outputs_rejected():
+    with pytest.raises(ValueError):
+        Node("Relu", ["x"], [])
+
+
+def test_empty_output_name_rejected():
+    with pytest.raises(ValueError):
+        Node("Relu", ["x"], [""])
+
+
+def test_present_inputs_skips_omitted():
+    n = Node("Resize", ["x", "", "scales"], ["y"])
+    assert n.present_inputs == ["x", "scales"]
+    assert n.inputs == ["x", "", "scales"]
+
+
+def test_output_single():
+    n = Node("Relu", ["x"], ["y"])
+    assert n.output == "y"
+
+
+def test_output_multi_raises():
+    n = Node("Split", ["x"], ["a", "b"])
+    with pytest.raises(ValueError, match="2 outputs"):
+        _ = n.output
+
+
+def test_attr_accessors_defaults():
+    n = Node("MaxPool", ["x"], ["y"], attrs={"ceil_mode": 1, "alpha": 0.5,
+                                             "mode": "nearest"})
+    assert n.int_attr("ceil_mode") == 1
+    assert n.int_attr("missing", 7) == 7
+    assert n.float_attr("alpha") == 0.5
+    assert n.str_attr("mode") == "nearest"
+    assert n.ints_attr("missing") == ()
+
+
+def test_ndarray_attr_preserved():
+    n = Node("Constant", [], ["c"], attrs={"value": np.arange(4)})
+    assert isinstance(n.attr("value"), np.ndarray)
+
+
+def test_numpy_scalar_attr_coerced():
+    n = Node("Clip", ["x"], ["y"], attrs={"min": np.float32(0.0)})
+    assert isinstance(n.attr("min"), float)
+
+
+def test_bad_attr_type_rejected():
+    with pytest.raises(TypeError):
+        Node("X", ["a"], ["b"], attrs={"bad": object()})
+
+
+def test_ints_attr_from_ndarray():
+    n = Node("X", ["a"], ["b"], attrs={"axes": np.asarray([1, 2])})
+    assert n.ints_attr("axes") == (1, 2)
+
+
+def test_rename_tensor():
+    n = Node("Add", ["a", "b"], ["a_plus_b"])
+    n.rename_tensor("a", "a2")
+    assert n.inputs == ["a2", "b"]
+    n.rename_tensor("a_plus_b", "c")
+    assert n.outputs == ["c"]
+
+
+def test_copy_is_deep_for_lists():
+    n = Node("Conv", ["x", "w"], ["y"], attrs={"strides": [2, 2]})
+    c = n.copy()
+    c.inputs[0] = "z"
+    c.attrs["strides"][0] = 9
+    assert n.inputs[0] == "x"
+    assert n.attrs["strides"][0] == 2

@@ -1,0 +1,168 @@
+"""Graph-pass tests: the rewrites must be value-preserving, verified
+numerically against the reference executor."""
+import numpy as np
+import pytest
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.executor import Executor, execute
+from repro.ir.passes import (eliminate_dead_nodes, eliminate_identities,
+                             fold_batchnorm, fold_constants, optimize)
+
+
+def conv_bn_graph():
+    b = GraphBuilder("g")
+    x = b.input("x", (2, 3, 10, 10))
+    y = b.conv(x, 6, 3, padding=1, name="conv")
+    y = b.batchnorm(y, name="bn")
+    y = b.relu(y)
+    return b.finish(y)
+
+
+def run(graph, seed=7):
+    feeds = {t.name: np.random.default_rng(0).normal(size=t.shape)
+             .astype(np.float32) for t in graph.inputs}
+    return next(iter(Executor(graph, seed=seed).run(feeds).values()))
+
+
+class TestFoldBatchnorm:
+    def test_bn_removed(self):
+        g = conv_bn_graph()
+        folded = fold_batchnorm(g)
+        assert folded.op_type_histogram().get("BatchNormalization", 0) == 0
+        assert g.op_type_histogram()["BatchNormalization"] == 1  # original kept
+
+    def test_numerically_equivalent(self):
+        g = conv_bn_graph()
+        # materialize the original weights first so both graphs share them
+        baseline = run(g)
+        folded = fold_batchnorm(g)
+        out = run(folded)
+        np.testing.assert_allclose(out, baseline, rtol=1e-3, atol=1e-4)
+
+    def test_multi_consumer_conv_not_folded(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 8, 8))
+        c = b.conv(x, 4, 3, padding=1, name="conv")
+        bn = b.batchnorm(c, name="bn")
+        other = b.relu(c)         # second consumer of the conv output
+        y = b.add(bn, other)
+        g = b.finish(y)
+        folded = fold_batchnorm(g)
+        assert folded.op_type_histogram()["BatchNormalization"] == 1
+
+    def test_chain_of_blocks_all_folded(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 16, 16))
+        y = x
+        for i in range(3):
+            y = b.conv(y, 4, 3, padding=1, name=f"c{i}")
+            y = b.batchnorm(y, name=f"bn{i}")
+            y = b.relu(y)
+        g = b.finish(y)
+        baseline = run(g)
+        folded = fold_batchnorm(g)
+        assert folded.op_type_histogram().get("BatchNormalization", 0) == 0
+        np.testing.assert_allclose(run(folded), baseline, rtol=1e-3,
+                                   atol=1e-4)
+
+
+class TestEliminateIdentities:
+    def test_identity_and_dropout_removed(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (4,))
+        y = b.node("Identity", [x])
+        y = b.relu(y)
+        y = b.node("Dropout", [y])
+        y = b.node("Neg", [y])
+        g = b.finish(y)
+        slim = eliminate_identities(g)
+        hist = slim.op_type_histogram()
+        assert "Identity" not in hist and "Dropout" not in hist
+        v = np.asarray([-1, 2, -3, 4], np.float32)
+        np.testing.assert_array_equal(run_graph(slim, v), run_graph(g, v))
+
+    def test_identity_directly_to_output_kept(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (4,))
+        y = b.node("Identity", [x])
+        g = b.finish(y)
+        slim = eliminate_identities(g)
+        slim.validate()
+        v = np.ones(4, np.float32)
+        np.testing.assert_array_equal(run_graph(slim, v), v)
+
+
+def run_graph(g, v):
+    return next(iter(execute(g, {g.inputs[0].name: v}).values()))
+
+
+class TestDeadNodeElimination:
+    def test_unused_branch_removed(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (4,))
+        live = b.relu(x)
+        dead = b.sigmoid(x)
+        dead = b.node("Neg", [dead])   # whole branch unused
+        g = b.finish(live)
+        slim = eliminate_dead_nodes(g)
+        hist = slim.op_type_histogram()
+        assert hist == {"Relu": 1}
+
+    def test_nothing_removed_when_all_live(self):
+        g = conv_bn_graph()
+        assert len(eliminate_dead_nodes(g)) == len(g)
+
+
+class TestConstantFolding:
+    def test_arith_on_initializers_folds(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (3,))
+        c1 = b.constant(np.asarray([1.0, 2.0, 3.0], np.float32))
+        c2 = b.constant(np.asarray([10.0, 10.0, 10.0], np.float32))
+        s = b.add(c1, c2)
+        y = b.add(x, s)
+        g = b.finish(y)
+        folded = fold_constants(g)
+        assert folded.op_type_histogram()["Add"] == 1
+        v = np.zeros(3, np.float32)
+        np.testing.assert_array_equal(run_graph(folded, v), [11, 12, 13])
+
+    def test_virtual_weights_not_materialized(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2, 4))
+        y = b.linear(x, 3, name="fc")
+        g = b.finish(y)
+        folded = fold_constants(g)
+        # MatMul has a virtual weight input: must stay
+        assert folded.op_type_histogram().get("MatMul") == 1
+        assert folded.initializers["fc.weight"].is_virtual
+
+    def test_size_cap_respected(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (4,))
+        big = b.constant(np.zeros((1024,), np.float32))
+        doubled = b.mul_scalar(big, 2.0)
+        y = b.add(x, b.reduce_mean(doubled, axes=[0], keepdims=True))
+        g = b.finish(y)
+        capped = fold_constants(g, max_elements=64)
+        assert "Mul" in capped.op_type_histogram()
+        folded = fold_constants(g)
+        assert "Mul" not in folded.op_type_histogram()
+
+
+class TestPipeline:
+    def test_optimize_preserves_semantics_on_real_block(self):
+        g = conv_bn_graph()
+        baseline = run(g)
+        opt = optimize(g)
+        np.testing.assert_allclose(run(opt), baseline, rtol=1e-3, atol=1e-4)
+        assert opt.op_type_histogram().get("BatchNormalization", 0) == 0
+
+    def test_optimize_on_mobilenet_slice(self):
+        from repro.models import mobilenet_v2
+        g = mobilenet_v2(0.5, batch_size=1, image_size=32)
+        baseline = run(g)
+        opt = optimize(g)
+        assert opt.op_type_histogram().get("BatchNormalization", 0) == 0
+        assert opt.num_nodes < g.num_nodes
+        np.testing.assert_allclose(run(opt), baseline, rtol=2e-3, atol=1e-3)

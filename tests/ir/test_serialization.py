@@ -1,0 +1,112 @@
+"""JSON model-format round-trip tests."""
+import numpy as np
+import pytest
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.serialization import FORMAT_VERSION, from_json, load, save, to_json
+from repro.ir.shape_inference import infer_shapes
+from repro.ir.tensor import DataType
+
+
+def small_model():
+    b = GraphBuilder("m")
+    x = b.input("x", (1, 3, 8, 8))
+    y = b.conv(x, 4, 3, padding=1, name="c1")
+    y = b.batchnorm(y, name="bn")
+    y = b.relu(y)
+    y = b.flatten(y)
+    y = b.linear(y, 10, name="fc")
+    return b.finish(y)
+
+
+def graphs_equal(a, b):
+    assert a.name == b.name
+    assert [t for t in a.inputs] == [t for t in b.inputs]
+    assert [t for t in a.outputs] == [t for t in b.outputs]
+    assert len(a.nodes) == len(b.nodes)
+    for na, nb in zip(a.nodes, b.nodes):
+        assert na.op_type == nb.op_type
+        assert na.name == nb.name
+        assert na.inputs == nb.inputs
+        assert na.outputs == nb.outputs
+        assert set(na.attrs) == set(nb.attrs)
+    assert set(a.initializers) == set(b.initializers)
+    for k in a.initializers:
+        ia, ib = a.initializers[k], b.initializers[k]
+        assert ia.info == ib.info
+        assert (ia.data is None) == (ib.data is None)
+        if ia.data is not None:
+            np.testing.assert_array_equal(ia.data, ib.data)
+
+
+def test_roundtrip_dict():
+    g = small_model()
+    g2 = from_json(to_json(g))
+    graphs_equal(g, g2)
+
+
+def test_roundtrip_file(tmp_path):
+    g = small_model()
+    path = tmp_path / "model.json"
+    save(g, path)
+    g2 = load(path)
+    graphs_equal(g, g2)
+
+
+def test_virtual_weights_stay_virtual():
+    g = small_model()
+    g2 = from_json(to_json(g))
+    weight = g2.initializers["c1.weight"]
+    assert weight.is_virtual
+
+
+def test_constant_payload_preserved_exactly():
+    b = GraphBuilder("m")
+    x = b.input("x", (2, 6))
+    y = b.reshape(x, (3, 4))
+    g = b.finish(y)
+    g2 = from_json(to_json(g))
+    consts = [i for i in g2.initializers.values() if i.data is not None]
+    assert len(consts) == 1
+    np.testing.assert_array_equal(consts[0].data, [3, 4])
+    assert consts[0].data.dtype == np.int64
+
+
+def test_ndarray_attr_roundtrip():
+    b = GraphBuilder("m")
+    x = b.input("x", (1,))
+    c = b.node("Constant", [], attrs={"value": np.arange(3, dtype=np.float32)})
+    y = b.add(x, c)
+    g = b.finish(y)
+    g2 = from_json(to_json(g))
+    const_node = next(n for n in g2.nodes if n.op_type == "Constant")
+    np.testing.assert_array_equal(const_node.attr("value"), [0, 1, 2])
+
+
+def test_shapes_reinferable_after_load(tmp_path):
+    g = small_model()
+    path = tmp_path / "m.json"
+    save(g, path)
+    g2 = load(path)
+    infer_shapes(g2)
+    assert g2.tensor(g2.output_names[0]).shape == (1, 10)
+
+
+def test_version_mismatch_rejected():
+    doc = to_json(small_model())
+    doc["format_version"] = FORMAT_VERSION + 1
+    with pytest.raises(ValueError, match="format version"):
+        from_json(doc)
+
+
+def test_zoo_model_roundtrips(tmp_path):
+    from repro.models import shufflenet_v2
+    g = shufflenet_v2(1.0, batch_size=1)
+    path = tmp_path / "shuffle.json"
+    save(g, path)
+    g2 = load(path)
+    infer_shapes(g2)
+    assert g2.num_nodes == g.num_nodes
+    assert g2.num_parameters() == g.num_parameters()
+    # the serialized file must stay small: weights are metadata only
+    assert path.stat().st_size < 2_000_000

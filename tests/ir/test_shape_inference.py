@@ -1,0 +1,340 @@
+"""Shape-inference tests across the operator registry."""
+import numpy as np
+import pytest
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+from repro.ir.node import Node
+from repro.ir.shape_inference import (ShapeInferenceError, broadcast_shapes,
+                                      conv_output_spatial, infer_shapes,
+                                      registered_ops)
+from repro.ir.tensor import DataType, Initializer, TensorInfo
+
+
+def infer_single(op_type, input_infos, attrs=None, extra_inits=(),
+                 n_outputs=1, input_names=None):
+    """Build a one-node graph and return the inferred output info(s)."""
+    g = Graph("t", inputs=list(input_infos))
+    for init in extra_inits:
+        g.add_initializer(init)
+    names = input_names or [t.name for t in input_infos]
+    outs = [f"out{i}" for i in range(n_outputs)]
+    g.add_node(Node(op_type, names, outs, name="n", attrs=attrs or {}))
+    g.outputs = [TensorInfo(o, (1,)) for o in outs]
+    infer_shapes(g)
+    infos = [g.value_info[o] for o in outs]
+    return infos[0] if n_outputs == 1 else infos
+
+
+class TestBroadcast:
+    def test_matches_numpy(self):
+        cases = [((2, 3), (3,)), ((1, 4), (5, 1)), ((2, 1, 3), (4, 1)),
+                 ((), (3,)), ((1,), (1,))]
+        for a, b in cases:
+            assert broadcast_shapes(a, b) == np.broadcast_shapes(a, b)
+
+    def test_incompatible(self):
+        with pytest.raises(ShapeInferenceError):
+            broadcast_shapes((2, 3), (4,))
+
+
+class TestConvFamily:
+    def test_conv_basic(self):
+        out = infer_single(
+            "Conv",
+            [TensorInfo("x", (2, 3, 32, 32)), TensorInfo("w", (8, 3, 3, 3))],
+            attrs={"strides": [1, 1], "pads": [1, 1, 1, 1]})
+        assert out.shape == (2, 8, 32, 32)
+
+    def test_conv_stride_2(self):
+        out = infer_single(
+            "Conv",
+            [TensorInfo("x", (1, 3, 224, 224)), TensorInfo("w", (64, 3, 7, 7))],
+            attrs={"strides": [2, 2], "pads": [3, 3, 3, 3]})
+        assert out.shape == (1, 64, 112, 112)
+
+    def test_conv_grouped(self):
+        out = infer_single(
+            "Conv",
+            [TensorInfo("x", (1, 32, 16, 16)), TensorInfo("w", (32, 1, 3, 3))],
+            attrs={"group": 32, "pads": [1, 1, 1, 1]})
+        assert out.shape == (1, 32, 16, 16)
+
+    def test_conv_dilation(self):
+        out = infer_single(
+            "Conv",
+            [TensorInfo("x", (1, 1, 32, 32)), TensorInfo("w", (1, 1, 3, 3))],
+            attrs={"dilations": [2, 2]})
+        assert out.shape == (1, 1, 28, 28)
+
+    def test_conv_channel_mismatch(self):
+        with pytest.raises(ShapeInferenceError, match="channels"):
+            infer_single(
+                "Conv",
+                [TensorInfo("x", (1, 4, 8, 8)), TensorInfo("w", (8, 3, 3, 3))])
+
+    def test_conv_same_upper(self):
+        out = infer_single(
+            "Conv",
+            [TensorInfo("x", (1, 3, 13, 13)), TensorInfo("w", (4, 3, 3, 3))],
+            attrs={"strides": [2, 2], "auto_pad": "SAME_UPPER"})
+        assert out.shape == (1, 4, 7, 7)
+
+    def test_conv_transpose(self):
+        out = infer_single(
+            "ConvTranspose",
+            [TensorInfo("x", (1, 8, 16, 16)), TensorInfo("w", (8, 4, 2, 2))],
+            attrs={"strides": [2, 2]})
+        assert out.shape == (1, 4, 32, 32)
+
+    def test_output_spatial_nonpositive(self):
+        with pytest.raises(ShapeInferenceError):
+            conv_output_spatial(2, 5, 1, 0, 0)
+
+
+class TestPooling:
+    def test_maxpool(self):
+        out = infer_single("MaxPool", [TensorInfo("x", (1, 64, 112, 112))],
+                           attrs={"kernel_shape": [3, 3], "strides": [2, 2],
+                                  "pads": [1, 1, 1, 1]})
+        assert out.shape == (1, 64, 56, 56)
+
+    def test_avgpool_ceil_mode(self):
+        out = infer_single("AveragePool", [TensorInfo("x", (1, 1, 5, 5))],
+                           attrs={"kernel_shape": [2, 2], "strides": [2, 2],
+                                  "ceil_mode": 1})
+        assert out.shape == (1, 1, 3, 3)
+
+    def test_global_avgpool(self):
+        out = infer_single("GlobalAveragePool",
+                           [TensorInfo("x", (2, 16, 7, 7))])
+        assert out.shape == (2, 16, 1, 1)
+
+
+class TestLinearAlgebra:
+    def test_gemm(self):
+        out = infer_single("Gemm", [TensorInfo("a", (4, 8)),
+                                    TensorInfo("b", (8, 5))])
+        assert out.shape == (4, 5)
+
+    def test_gemm_transposed(self):
+        out = infer_single("Gemm", [TensorInfo("a", (8, 4)),
+                                    TensorInfo("b", (5, 8))],
+                           attrs={"transA": 1, "transB": 1})
+        assert out.shape == (4, 5)
+
+    def test_gemm_k_mismatch(self):
+        with pytest.raises(ShapeInferenceError, match="K mismatch"):
+            infer_single("Gemm", [TensorInfo("a", (4, 8)),
+                                  TensorInfo("b", (9, 5))])
+
+    def test_matmul_batched_broadcast(self):
+        out = infer_single("MatMul", [TensorInfo("a", (2, 1, 4, 8)),
+                                      TensorInfo("b", (3, 8, 5))])
+        assert out.shape == (2, 3, 4, 5)
+
+    def test_matmul_vector(self):
+        out = infer_single("MatMul", [TensorInfo("a", (8,)),
+                                      TensorInfo("b", (8, 5))])
+        assert out.shape == (5,)
+
+    def test_einsum(self):
+        out = infer_single("Einsum", [TensorInfo("a", (2, 3, 4)),
+                                      TensorInfo("b", (2, 4, 5))],
+                           attrs={"equation": "bij,bjk->bik"})
+        assert out.shape == (2, 3, 5)
+
+
+class TestShapeOps:
+    def test_reshape_with_initializer(self):
+        shape_init = Initializer(TensorInfo("s", (2,), DataType.INT64),
+                                 np.asarray([3, -1], dtype=np.int64))
+        out = infer_single("Reshape", [TensorInfo("x", (3, 4))],
+                           extra_inits=[shape_init],
+                           input_names=["x", "s"])
+        assert out.shape == (3, 4)
+
+    def test_reshape_minus_one(self):
+        shape_init = Initializer(TensorInfo("s", (3,), DataType.INT64),
+                                 np.asarray([2, -1, 2], dtype=np.int64))
+        out = infer_single("Reshape", [TensorInfo("x", (4, 4))],
+                           extra_inits=[shape_init],
+                           input_names=["x", "s"])
+        assert out.shape == (2, 4, 2)
+
+    def test_reshape_zero_copies_dim(self):
+        shape_init = Initializer(TensorInfo("s", (2,), DataType.INT64),
+                                 np.asarray([0, -1], dtype=np.int64))
+        out = infer_single("Reshape", [TensorInfo("x", (3, 4))],
+                           extra_inits=[shape_init],
+                           input_names=["x", "s"])
+        assert out.shape == (3, 4)
+
+    def test_reshape_bad_count(self):
+        shape_init = Initializer(TensorInfo("s", (1,), DataType.INT64),
+                                 np.asarray([7], dtype=np.int64))
+        with pytest.raises(ShapeInferenceError):
+            infer_single("Reshape", [TensorInfo("x", (3, 4))],
+                         extra_inits=[shape_init], input_names=["x", "s"])
+
+    def test_transpose_default_reverses(self):
+        out = infer_single("Transpose", [TensorInfo("x", (2, 3, 4))])
+        assert out.shape == (4, 3, 2)
+
+    def test_transpose_perm(self):
+        out = infer_single("Transpose", [TensorInfo("x", (2, 3, 4))],
+                           attrs={"perm": [0, 2, 1]})
+        assert out.shape == (2, 4, 3)
+
+    def test_transpose_bad_perm(self):
+        with pytest.raises(ShapeInferenceError):
+            infer_single("Transpose", [TensorInfo("x", (2, 3))],
+                         attrs={"perm": [0, 0]})
+
+    def test_concat(self):
+        out = infer_single("Concat", [TensorInfo("a", (1, 2, 4)),
+                                      TensorInfo("b", (1, 3, 4))],
+                           attrs={"axis": 1})
+        assert out.shape == (1, 5, 4)
+
+    def test_concat_mismatch(self):
+        with pytest.raises(ShapeInferenceError):
+            infer_single("Concat", [TensorInfo("a", (1, 2, 4)),
+                                    TensorInfo("b", (1, 3, 5))],
+                         attrs={"axis": 1})
+
+    def test_split_even(self):
+        outs = infer_single("Split", [TensorInfo("x", (2, 6))],
+                            attrs={"axis": 1}, n_outputs=3)
+        assert [o.shape for o in outs] == [(2, 2)] * 3
+
+    def test_split_sizes(self):
+        outs = infer_single("Split", [TensorInfo("x", (2, 6))],
+                            attrs={"axis": 1, "split": [1, 5]}, n_outputs=2)
+        assert [o.shape for o in outs] == [(2, 1), (2, 5)]
+
+    def test_slice_with_steps(self):
+        out = infer_single("Slice", [TensorInfo("x", (1, 8, 8, 4))],
+                           attrs={"starts": [0, 1], "ends": [8, 8],
+                                  "axes": [1, 2], "steps": [2, 2]})
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_slice_negative_indices(self):
+        out = infer_single("Slice", [TensorInfo("x", (10,))],
+                           attrs={"starts": [-3], "ends": [10], "axes": [0]})
+        assert out.shape == (3,)
+
+    def test_squeeze_unsqueeze(self):
+        out = infer_single("Squeeze", [TensorInfo("x", (1, 3, 1, 4))],
+                           attrs={"axes": [0, 2]})
+        assert out.shape == (3, 4)
+        out = infer_single("Unsqueeze", [TensorInfo("x", (3, 4))],
+                           attrs={"axes": [0, 3]})
+        assert out.shape == (1, 3, 4, 1)
+
+    def test_flatten(self):
+        out = infer_single("Flatten", [TensorInfo("x", (2, 3, 4, 5))],
+                           attrs={"axis": 2})
+        assert out.shape == (6, 20)
+
+    def test_pad(self):
+        out = infer_single("Pad", [TensorInfo("x", (1, 1, 4, 4))],
+                           attrs={"pads": [0, 0, 1, 2, 0, 0, 1, 2]})
+        assert out.shape == (1, 1, 6, 8)
+
+    def test_gather(self):
+        out = infer_single("Gather", [TensorInfo("table", (100, 16)),
+                                      TensorInfo("idx", (2, 5), DataType.INT64)])
+        assert out.shape == (2, 5, 16)
+
+    def test_resize_scales_attr(self):
+        out = infer_single("Resize", [TensorInfo("x", (1, 4, 8, 8))],
+                           attrs={"scales": [1.0, 1.0, 2.0, 2.0]})
+        assert out.shape == (1, 4, 16, 16)
+
+    def test_depth_to_space(self):
+        out = infer_single("DepthToSpace", [TensorInfo("x", (1, 16, 4, 4))],
+                           attrs={"blocksize": 2})
+        assert out.shape == (1, 4, 8, 8)
+
+
+class TestReductionsAndMisc:
+    def test_reduce_mean_keepdims(self):
+        out = infer_single("ReduceMean", [TensorInfo("x", (2, 3, 4))],
+                           attrs={"axes": [1], "keepdims": 1})
+        assert out.shape == (2, 1, 4)
+
+    def test_reduce_mean_no_keepdims(self):
+        out = infer_single("ReduceMean", [TensorInfo("x", (2, 3, 4))],
+                           attrs={"axes": [1, 2], "keepdims": 0})
+        assert out.shape == (2,)
+
+    def test_argmax(self):
+        out = infer_single("ArgMax", [TensorInfo("x", (2, 10))],
+                           attrs={"axis": 1, "keepdims": 0})
+        assert out.shape == (2,)
+        assert out.dtype is DataType.INT64
+
+    def test_softmax_preserves(self):
+        out = infer_single("Softmax", [TensorInfo("x", (2, 10))])
+        assert out.shape == (2, 10)
+
+    def test_cast(self):
+        out = infer_single("Cast", [TensorInfo("x", (4,))],
+                           attrs={"to": "float16"})
+        assert out.dtype is DataType.FLOAT16
+
+    def test_compare_yields_bool(self):
+        out = infer_single("Equal", [TensorInfo("a", (3,)),
+                                     TensorInfo("b", (3,))])
+        assert out.dtype is DataType.BOOL
+
+    def test_where(self):
+        out = infer_single("Where", [
+            TensorInfo("c", (3, 1), DataType.BOOL),
+            TensorInfo("a", (1, 4)), TensorInfo("b", (3, 4))])
+        assert out.shape == (3, 4)
+
+    def test_unknown_op_strict_raises(self):
+        with pytest.raises(ShapeInferenceError, match="no shape inference"):
+            infer_single("TotallyCustomOp", [TensorInfo("x", (1,))])
+
+    def test_unknown_op_lenient_copies(self):
+        g = Graph("t", inputs=[TensorInfo("x", (2, 3))],
+                  outputs=[TensorInfo("y", (1,))])
+        g.add_node(Node("TotallyCustomOp", ["x"], ["y"]))
+        infer_shapes(g, strict=False)
+        assert g.value_info["y"].shape == (2, 3)
+
+
+class TestConstantPropagation:
+    def test_shape_gather_concat_reshape_chain(self):
+        """The dynamic-shape idiom: Shape -> Gather -> Concat -> Reshape."""
+        b = GraphBuilder("chain")
+        x = b.input("x", (2, 3, 4, 5))
+        shp = b.node("Shape", [x])
+        idx = b.constant(np.asarray(0, dtype=np.int64))
+        dim0 = b.node("Gather", [shp, idx], attrs={"axis": 0})
+        dim0u = b.node("Unsqueeze", [dim0, b.constant(np.asarray([0], np.int64))])
+        rest = b.constant(np.asarray([-1], dtype=np.int64))
+        target = b.node("Concat", [dim0u, rest], attrs={"axis": 0})
+        y = b.node("Reshape", [x, target])
+        g = b.finish(y)
+        assert g.tensor(y).shape == (2, 60)
+
+    def test_shape_op_value(self):
+        b = GraphBuilder("s")
+        x = b.input("x", (4, 7))
+        s = b.node("Shape", [x])
+        g = b.finish(s)
+        assert g.tensor(s).shape == (2,)
+        assert g.tensor(s).dtype is DataType.INT64
+
+
+def test_registered_ops_cover_zoo_needs():
+    ops = set(registered_ops())
+    required = {"Conv", "MatMul", "Gemm", "Softmax", "LayerNormalization",
+                "BatchNormalization", "GroupNormalization", "Transpose",
+                "Reshape", "Concat", "Split", "Slice", "Gather", "Resize",
+                "Erf", "Sigmoid", "HardSwish", "GlobalAveragePool"}
+    assert required <= ops

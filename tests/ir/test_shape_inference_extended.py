@@ -1,0 +1,117 @@
+"""Shape inference for the long tail of registered ops."""
+import numpy as np
+import pytest
+
+from repro.ir.graph import Graph
+from repro.ir.node import Node
+from repro.ir.shape_inference import ShapeInferenceError, infer_shapes
+from repro.ir.tensor import DataType, Initializer, TensorInfo
+from tests.ir.test_shape_inference import infer_single
+
+
+class TestLongTail:
+    def test_space_to_depth(self):
+        out = infer_single("SpaceToDepth", [TensorInfo("x", (1, 3, 8, 8))],
+                           attrs={"blocksize": 2})
+        assert out.shape == (1, 12, 4, 4)
+
+    def test_gather_elements(self):
+        out = infer_single("GatherElements",
+                           [TensorInfo("d", (3, 4)),
+                            TensorInfo("i", (3, 2), DataType.INT64)],
+                           attrs={"axis": 1})
+        assert out.shape == (3, 2)
+
+    def test_scatter_nd_keeps_data_shape(self):
+        out = infer_single("ScatterND",
+                           [TensorInfo("d", (4, 5)),
+                            TensorInfo("i", (2, 1), DataType.INT64),
+                            TensorInfo("u", (2, 5))])
+        assert out.shape == (4, 5)
+
+    def test_tile(self):
+        reps = Initializer(TensorInfo("r", (2,), DataType.INT64),
+                           np.asarray([2, 3], np.int64))
+        out = infer_single("Tile", [TensorInfo("x", (4, 5))],
+                           extra_inits=[reps], input_names=["x", "r"])
+        assert out.shape == (8, 15)
+
+    def test_expand_broadcast(self):
+        target = Initializer(TensorInfo("t", (3,), DataType.INT64),
+                             np.asarray([2, 3, 4], np.int64))
+        out = infer_single("Expand", [TensorInfo("x", (3, 1))],
+                           extra_inits=[target], input_names=["x", "t"])
+        assert out.shape == (2, 3, 4)
+
+    def test_onehot(self):
+        depth = Initializer(TensorInfo("d", (), DataType.INT64),
+                            np.asarray(5, np.int64))
+        values = Initializer(TensorInfo("v", (2,), DataType.FLOAT32),
+                             np.asarray([0.0, 1.0], np.float32))
+        out = infer_single("OneHot",
+                           [TensorInfo("i", (3,), DataType.INT64)],
+                           extra_inits=[depth, values],
+                           input_names=["i", "d", "v"])
+        assert out.shape == (3, 5)
+
+    def test_topk_two_outputs(self):
+        k = Initializer(TensorInfo("k", (1,), DataType.INT64),
+                        np.asarray([3], np.int64))
+        vals, idx = infer_single("TopK", [TensorInfo("x", (2, 10))],
+                                 extra_inits=[k], input_names=["x", "k"],
+                                 attrs={"axis": 1}, n_outputs=2)
+        assert vals.shape == (2, 3)
+        assert idx.dtype is DataType.INT64
+
+    def test_range_value_propagates(self):
+        inits = [Initializer(TensorInfo(n, (), DataType.INT64),
+                             np.asarray(v, np.int64))
+                 for n, v in (("s", 0), ("l", 12), ("d", 4))]
+        out = infer_single("Range", [], extra_inits=inits,
+                           input_names=["s", "l", "d"])
+        assert out.shape == (3,)
+
+    def test_trilu_cumsum_preserve(self):
+        for op in ("Trilu", "CumSum"):
+            extra = []
+            names = ["x"]
+            if op == "CumSum":
+                extra = [Initializer(TensorInfo("a", (), DataType.INT64),
+                                     np.asarray(0, np.int64))]
+                names = ["x", "a"]
+            out = infer_single(op, [TensorInfo("x", (3, 3))],
+                               extra_inits=extra, input_names=names)
+            assert out.shape == (3, 3)
+
+    def test_lp_pool(self):
+        out = infer_single("LpPool", [TensorInfo("x", (1, 2, 8, 8))],
+                           attrs={"kernel_shape": [2, 2], "strides": [2, 2]})
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_logsoftmax_and_reduce_l2(self):
+        assert infer_single("LogSoftmax", [TensorInfo("x", (2, 5))]).shape \
+            == (2, 5)
+        out = infer_single("ReduceL2", [TensorInfo("x", (2, 5))],
+                           attrs={"axes": [1], "keepdims": 0})
+        assert out.shape == (2,)
+
+    def test_quantize_dequantize_dtypes(self):
+        q = infer_single("QuantizeLinear",
+                         [TensorInfo("x", (4,)), TensorInfo("s", ()),
+                          TensorInfo("z", (), DataType.INT8)])
+        assert q.dtype is DataType.INT8
+        dq = infer_single("DequantizeLinear",
+                          [TensorInfo("x", (4,), DataType.INT8),
+                           TensorInfo("s", ())])
+        assert dq.dtype is DataType.FLOAT32
+
+    def test_split_dim_mismatch_error(self):
+        with pytest.raises(ShapeInferenceError, match="Split"):
+            infer_single("Split", [TensorInfo("x", (2, 7))],
+                         attrs={"axis": 1}, n_outputs=2)
+
+    def test_einsum_rank_mismatch_error(self):
+        with pytest.raises(ShapeInferenceError, match="rank mismatch"):
+            infer_single("Einsum", [TensorInfo("a", (2, 3)),
+                                    TensorInfo("b", (3, 4))],
+                         attrs={"equation": "abc,cd->abd"})

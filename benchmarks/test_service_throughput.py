@@ -1,0 +1,83 @@
+"""Benchmark: profiling-service throughput, warm cache vs cold runs.
+
+The service's content-addressed cache turns repeated identical requests
+into dictionary lookups: a warm request skips graph construction,
+fingerprinting and the whole profiling pipeline.  The bench measures
+requests/sec through :class:`ProfilingService` both ways and asserts
+the cache buys at least an order of magnitude.
+"""
+import time
+
+import pytest
+
+from repro.ir.fingerprint import report_digest
+from repro.service import ProfilingService
+
+MODEL = "resnet50"
+BATCH = 8
+
+
+def test_warm_cache_requests_per_second(benchmark):
+    """Steady-state warm throughput (every request a cache hit)."""
+    with ProfilingService(workers=2) as service:
+        cold = service.profile(MODEL, batch_size=BATCH)
+
+        def warm():
+            return service.profile(MODEL, batch_size=BATCH)
+
+        report = benchmark.pedantic(warm, rounds=5, iterations=20,
+                                    warmup_rounds=1)
+        stats = service.stats()["cache"]
+        assert report_digest(report) == report_digest(cold)
+        # every warm request was a hit (runs once under --benchmark-disable)
+        assert stats["hits"] >= 1 and stats["misses"] == 1
+
+
+def test_warm_at_least_10x_faster_than_cold(benchmark):
+    """The acceptance bar: warm req/s >= 10x cold req/s."""
+    with ProfilingService(workers=2) as service:
+        cold_n, warm_n = 5, 50
+        t0 = time.perf_counter()
+        for i in range(cold_n):
+            # distinct batch sizes -> distinct fingerprints -> all cold
+            service.profile(MODEL, batch_size=BATCH + i)
+        cold_rps = cold_n / (time.perf_counter() - t0)
+
+        def warm_block():
+            for _ in range(warm_n):
+                service.profile(MODEL, batch_size=BATCH)
+            return service.stats()
+
+        stats = benchmark.pedantic(warm_block, rounds=3, iterations=1,
+                                   warmup_rounds=0)
+        t0 = time.perf_counter()
+        for _ in range(warm_n):
+            service.profile(MODEL, batch_size=BATCH)
+        warm_rps = warm_n / (time.perf_counter() - t0)
+
+        assert stats["cache"]["misses"] == cold_n
+        assert warm_rps >= 10 * cold_rps, \
+            f"warm {warm_rps:.0f} req/s < 10x cold {cold_rps:.0f} req/s"
+
+
+def test_concurrent_mixed_workload(benchmark):
+    """A wave of requests over a small model set: dedup + cache absorb
+    the redundancy, so total profiles executed stays at the distinct-
+    request count."""
+    models = ["mobilenetv2-05", "mobilenetv2-10", "shufflenetv2-05"]
+
+    def wave():
+        with ProfilingService(workers=4) as service:
+            jobs = [service.submit(m, batch_size=4)
+                    for _ in range(8) for m in models]
+            for job in jobs:
+                job.result(timeout=60.0)
+            return service.stats()
+
+    stats = benchmark.pedantic(wave, rounds=1, iterations=1,
+                               warmup_rounds=0)
+    executed = stats["counters"]["jobs.submitted"]
+    assert executed == len(models)
+    assert stats["cache"]["hits"] \
+        + stats["counters"].get("jobs.deduplicated", 0) \
+        == 8 * len(models) - len(models)

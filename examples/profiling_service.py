@@ -1,0 +1,71 @@
+"""The profiling service: concurrent profiling with result caching.
+
+PRoof reports are deterministic, so identical requests need not repeat
+the pipeline.  ``repro.service`` wraps the Profiler in a worker pool
+with a content-addressed result cache, single-flight deduplication and
+an HTTP JSON API (see docs/SERVICE.md).
+
+Run:  python examples/profiling_service.py
+"""
+import json
+import threading
+import urllib.request
+
+from repro.ir.fingerprint import report_digest
+from repro.service import ProfilingServer, ProfilingService
+
+# 1. A service is a context manager: workers start on enter, drain on
+#    exit.  The cache is bounded by bytes AND entries; pass cache_dir=
+#    for a persistent JSON tier that survives restarts.
+with ProfilingService(workers=4, cache_bytes=64 << 20) as service:
+
+    # 2. profile() is the synchronous facade: submit + wait.
+    cold = service.profile("resnet50", batch_size=8)
+    warm = service.profile("resnet50", batch_size=8)   # cache hit
+    assert report_digest(cold) == report_digest(warm)  # bit-identical
+    print(f"resnet50 bs=8: {cold.end_to_end.latency_seconds * 1e3:.3f} ms "
+          f"(second request served from cache)")
+
+    # 3. submit() is asynchronous: returns a Job immediately.  Identical
+    #    in-flight requests are deduplicated — 8 submissions, 1 profile.
+    jobs = [service.submit("vit-tiny", batch_size=4, priority=i)
+            for i in range(8)]
+    reports = [job.result(timeout=60.0) for job in jobs]
+    assert len({report_digest(r) for r in reports}) == 1
+
+    # 4. Introspection: cache hit ratio, queue depth, job counters.
+    stats = service.stats()
+    print(f"cache : {stats['cache']['hits']} hits / "
+          f"{stats['cache']['misses']} misses "
+          f"({stats['cache']['hit_ratio']:.0%} hit ratio)")
+    print(f"jobs  : {stats['counters']['jobs.submitted']} profiled, "
+          f"{stats['counters'].get('jobs.deduplicated', 0)} deduplicated, "
+          f"{stats['counters'].get('jobs.cache_hits', 0)} cache hits")
+
+# 5. The same service behind HTTP (what `proof serve` runs).  Port 0
+#    binds an ephemeral port; in production pick one.
+service = ProfilingService(workers=2)
+service.start()
+server = ProfilingServer(service, host="127.0.0.1", port=0)
+thread = threading.Thread(target=server.serve_forever, daemon=True)
+thread.start()
+base = f"http://127.0.0.1:{server.port}"
+print(f"\nservice listening on {base}")
+
+body = json.dumps({"model": "mobilenetv2-05", "batch_size": 4,
+                   "wait": True}).encode()
+with urllib.request.urlopen(urllib.request.Request(
+        f"{base}/profile", data=body,
+        headers={"Content-Type": "application/json"})) as resp:
+    doc = json.loads(resp.read())
+print(f"POST /profile -> job {doc['id']} {doc['status']}, "
+      f"{doc['report']['end_to_end']['latency_seconds'] * 1e3:.3f} ms")
+
+with urllib.request.urlopen(f"{base}/stats") as resp:
+    stats = json.loads(resp.read())
+print(f"GET /stats    -> queue depth {stats['queue']['depth']}, "
+      f"{stats['cache']['entries']} cached result(s)")
+
+server.shutdown()
+server.server_close()
+service.stop()

@@ -6,6 +6,8 @@ Examples::
               --precision fp16 --batch 128 --svg roofline.svg
     proof run --model vit-tiny --platform a100 --mode measure
     proof peak --platform orin-nx
+    proof serve --port 8080 --workers 4 --cache-mb 64
+    proof batch resnet50 vit-tiny --repeat 2
     proof list
 """
 from __future__ import annotations
@@ -73,6 +75,32 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["fp32", "fp16", "int8"])
     swp.add_argument("--batches", default="1,4,16,64,256",
                      help="comma-separated batch sizes")
+
+    srv = sub.add_parser("serve",
+                         help="run the profiling service (HTTP JSON API)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8080,
+                     help="0 binds an ephemeral port")
+    srv.add_argument("--workers", type=int, default=4)
+    srv.add_argument("--cache-mb", type=float, default=64.0,
+                     help="in-memory result-cache budget")
+    srv.add_argument("--cache-entries", type=int, default=512)
+    srv.add_argument("--cache-dir", default=None,
+                     help="directory for the persistent JSON cache tier")
+    srv.add_argument("--queue-size", type=int, default=256)
+
+    bat = sub.add_parser("batch",
+                         help="profile a list of models through the service")
+    bat.add_argument("models", nargs="+", choices=sorted(MODEL_ZOO))
+    bat.add_argument("--platform", default="a100", choices=sorted(PLATFORMS))
+    bat.add_argument("--backend", default="trt-sim", choices=sorted(BACKENDS))
+    bat.add_argument("--precision", default="fp16",
+                     choices=["fp32", "fp16", "int8"])
+    bat.add_argument("--batch", type=int, default=1)
+    bat.add_argument("--workers", type=int, default=4)
+    bat.add_argument("--repeat", type=int, default=1,
+                     help="submit the list this many times "
+                          "(repeats exercise the result cache)")
 
     sub.add_parser("list", help="list models, platforms and backends")
     return parser
@@ -158,6 +186,64 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..service import ProfilingServer, ProfilingService
+    service = ProfilingService(
+        workers=args.workers, queue_size=args.queue_size,
+        cache_bytes=int(args.cache_mb * (1 << 20)),
+        cache_entries=args.cache_entries, cache_dir=args.cache_dir)
+    service.start()
+    server = ProfilingServer(service, host=args.host, port=args.port)
+    print(f"proof service listening on http://{args.host}:{server.port} "
+          f"({args.workers} workers, cache {args.cache_mb:g} MB)")
+    print("endpoints: POST /profile   GET /job/<id>   GET /stats   "
+          "GET /healthz")
+    try:
+        # the serve loop runs in the foreground; returning from it (^C)
+        # is the shutdown signal, so no cross-thread shutdown() is needed
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+        service.stop()
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from ..service import JobStatus, ProfilingService
+    failed = 0
+    with ProfilingService(workers=args.workers) as service:
+        print(f"{'model':22s} {'status':>9s} {'latency(ms)':>12s} "
+              f"{'cached':>7s}")
+        for _ in range(args.repeat):
+            jobs = [(m, service.submit(
+                m, batch_size=args.batch, backend=args.backend,
+                platform=args.platform, precision=args.precision))
+                for m in args.models]
+            for model, job in jobs:
+                job.wait()
+                if job.status == JobStatus.SUCCEEDED:
+                    lat = job.report.end_to_end.latency_seconds * 1e3
+                    print(f"{model:22s} {job.status:>9s} {lat:12.3f} "
+                          f"{'yes' if job.cache_hit else 'no':>7s}")
+                else:
+                    failed += 1
+                    print(f"{model:22s} {job.status:>9s} {'-':>12s} "
+                          f"{'-':>7s}  {job.error or ''}")
+        stats = service.stats()
+        cache = stats["cache"]
+        print(f"\ncache: {cache['hits'] + cache['disk_hits']} hits / "
+              f"{cache['misses']} misses "
+              f"({cache['hit_ratio'] * 100:.1f}% hit ratio), "
+              f"{cache['evictions']} evictions")
+        counters = stats["counters"]
+        print(f"jobs : {counters.get('jobs.submitted', 0)} profiled, "
+              f"{counters.get('jobs.cache_hits', 0)} cache hits, "
+              f"{counters.get('jobs.deduplicated', 0)} deduplicated")
+    return 1 if failed else 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("models:")
     for entry in sorted(MODEL_ZOO.values(), key=lambda e: e.row):
@@ -175,7 +261,8 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"run": _cmd_run, "peak": _cmd_peak, "list": _cmd_list,
-                "sweep": _cmd_sweep}
+                "sweep": _cmd_sweep, "serve": _cmd_serve,
+                "batch": _cmd_batch}
     return handlers[args.command](args)
 
 

@@ -16,6 +16,7 @@ from .shape_inference import (
 )
 from .executor import ExecutionError, Executor, execute, supported_ops
 from .serialization import from_json, load, save, to_json
+from .fingerprint import array_digest, graph_fingerprint, report_digest
 
 __all__ = [
     "DataType", "Initializer", "TensorInfo", "Node", "Graph", "GraphError",
@@ -23,4 +24,5 @@ __all__ = [
     "conv_output_spatial", "infer_shapes", "registered_ops",
     "ExecutionError", "Executor", "execute", "supported_ops",
     "from_json", "load", "save", "to_json",
+    "array_digest", "graph_fingerprint", "report_digest",
 ]

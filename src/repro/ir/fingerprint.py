@@ -1,0 +1,131 @@
+"""Content fingerprints for graphs and reports.
+
+``graph_fingerprint`` assigns a graph a deterministic, content-addressed
+identity: the hash covers the interface tensors, every initializer's
+metadata and payload digest, and every node's type, wiring and
+attributes.  It is independent of incidental ordering — attribute and
+initializer dictionaries are canonicalized, and nodes are hashed in a
+*canonical* topological order, so two graphs whose node lists merely
+permute the same dataflow hash identically.  Virtual (weight-only)
+initializers contribute their shape/dtype metadata; their absent payload
+hashes as such, matching the serializer's treatment.
+
+``report_digest`` does the same for a :class:`ProfileReport` (duck-typed
+via ``to_dict`` so :mod:`repro.ir` stays independent of
+:mod:`repro.core`): two runs are provably bit-identical when their
+digests match, which is how the profiling service proves that a cached
+result equals a fresh ``Profiler.profile`` call.
+"""
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+from collections import defaultdict
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from .graph import Graph, GraphError
+from .node import Node
+from .tensor import TensorInfo
+
+__all__ = ["graph_fingerprint", "report_digest", "array_digest",
+           "FINGERPRINT_VERSION"]
+
+#: bump when the canonical document layout changes — old cache entries
+#: must not alias new ones
+FINGERPRINT_VERSION = 1
+
+
+def array_digest(a: np.ndarray) -> str:
+    """SHA-256 over an array's dtype, shape and raw bytes."""
+    h = hashlib.sha256()
+    h.update(str(a.dtype).encode("ascii"))
+    h.update(repr(tuple(a.shape)).encode("ascii"))
+    h.update(np.ascontiguousarray(a).tobytes())
+    return h.hexdigest()
+
+
+def _info_doc(t: TensorInfo) -> List[Any]:
+    return [t.name, list(t.shape), t.dtype.value]
+
+
+def _attr_doc(v: Any) -> Any:
+    if isinstance(v, np.ndarray):
+        return {"__ndarray__": array_digest(v)}
+    return v
+
+
+def _node_key(node: Node) -> Tuple[str, str, Tuple[str, ...]]:
+    # output names are unique graph-wide, so this totally orders nodes
+    return (node.op_type, node.name, tuple(node.outputs))
+
+
+def _canonical_order(graph: Graph) -> List[Node]:
+    """Topological order with ties broken by node content, not list
+    position (Kahn's algorithm over a heap)."""
+    producers = graph.producer_map()
+    available = set(graph.input_names) | set(graph.initializers)
+    indegree: Dict[int, int] = {}
+    dependents: Dict[str, List[Node]] = defaultdict(list)
+    ready: List[Tuple[Tuple[str, str, Tuple[str, ...]], int, Node]] = []
+    for node in graph.nodes:
+        missing = [i for i in node.present_inputs
+                   if i not in available and i in producers]
+        indegree[id(node)] = len(missing)
+        for m in missing:
+            dependents[m].append(node)
+        if not missing:
+            heapq.heappush(ready, (_node_key(node), id(node), node))
+    order: List[Node] = []
+    while ready:
+        _, _, node = heapq.heappop(ready)
+        order.append(node)
+        for out in node.outputs:
+            for w in dependents.get(out, []):
+                indegree[id(w)] -= 1
+                if indegree[id(w)] == 0:
+                    heapq.heappush(ready, (_node_key(w), id(w), w))
+    if len(order) != len(graph.nodes):
+        raise GraphError(
+            f"graph {graph.name!r} contains a cycle; cannot fingerprint")
+    return order
+
+
+def _canonical_bytes(doc: Any) -> bytes:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Deterministic SHA-256 content hash of a graph (hex digest)."""
+    doc = {
+        "version": FINGERPRINT_VERSION,
+        "name": graph.name,
+        "inputs": [_info_doc(t) for t in graph.inputs],
+        "outputs": [_info_doc(t) for t in graph.outputs],
+        "initializers": [
+            [name, _info_doc(init.info),
+             None if init.data is None else array_digest(init.data)]
+            for name, init in sorted(graph.initializers.items())
+        ],
+        "nodes": [
+            [n.op_type, n.name, list(n.inputs), list(n.outputs),
+             {k: _attr_doc(v) for k, v in n.attrs.items()}]
+            for n in _canonical_order(graph)
+        ],
+    }
+    return hashlib.sha256(_canonical_bytes(doc)).hexdigest()
+
+
+def report_digest(report: Any) -> str:
+    """SHA-256 over a report's canonical JSON document.
+
+    Accepts anything exposing ``to_dict()`` (a
+    :class:`~repro.core.report.ProfileReport` in practice).  Derived
+    convenience figures are excluded — they are recomputed, not stored,
+    when a report round-trips through JSON.
+    """
+    doc = report.to_dict()
+    doc.pop("derived", None)
+    return hashlib.sha256(_canonical_bytes(doc)).hexdigest()

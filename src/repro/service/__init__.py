@@ -1,0 +1,25 @@
+"""Profiling-as-a-service layer on top of the PRoof profiler.
+
+Turns the single-shot :class:`~repro.core.profiler.Profiler` into a
+long-running concurrent service: a bounded priority job queue, a
+thread-pool of workers with single-flight dedup / retry / timeout
+policy, a content-addressed result cache keyed by request fingerprints,
+service metrics, and an ``http.server`` JSON API.
+"""
+from .cache import CacheStats, ResultCache
+from .fingerprint import CACHE_KEY_VERSION, ProfileRequest, request_fingerprint
+from .metrics import Counter, Histogram, MetricsRegistry
+from .queue import (Job, JobCancelledError, JobFailedError, JobQueue,
+                    JobStatus, JobTimeoutError, QueueFullError)
+from .workers import WorkerPool
+from .server import ProfilingServer, ProfilingService, default_runner
+
+__all__ = [
+    "CacheStats", "ResultCache",
+    "CACHE_KEY_VERSION", "ProfileRequest", "request_fingerprint",
+    "Counter", "Histogram", "MetricsRegistry",
+    "Job", "JobCancelledError", "JobFailedError", "JobQueue", "JobStatus",
+    "JobTimeoutError", "QueueFullError",
+    "WorkerPool",
+    "ProfilingServer", "ProfilingService", "default_runner",
+]

@@ -1,0 +1,71 @@
+"""Request fingerprints: the service's cache keys.
+
+A profiling result is determined by the graph *content* and the
+profiling configuration — never by who asked, when, or which worker ran
+it.  The request fingerprint therefore hashes
+:func:`repro.ir.fingerprint.graph_fingerprint` together with the
+normalized (backend, platform, precision, metric-source) tuple; batch
+size needs no separate field because it is part of the graph's input
+shapes.  A version field keeps keys from aliasing across format
+changes.
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..core.report import MetricSource
+from ..ir.fingerprint import graph_fingerprint
+from ..ir.graph import Graph
+
+__all__ = ["ProfileRequest", "request_fingerprint", "CACHE_KEY_VERSION"]
+
+CACHE_KEY_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ProfileRequest:
+    """A fully resolved profiling request (names already validated)."""
+
+    graph: Graph
+    backend: str
+    platform: str
+    precision: str
+    metric_source: str = MetricSource.PREDICTED
+
+    def fingerprint(self) -> str:
+        return request_fingerprint(self.graph, backend=self.backend,
+                                   platform=self.platform,
+                                   precision=self.precision,
+                                   metric_source=self.metric_source)
+
+    def summary(self) -> Dict[str, Any]:
+        """The JSON-safe request description shown in job documents."""
+        batch: Optional[int] = None
+        if self.graph.inputs and self.graph.inputs[0].shape:
+            batch = int(self.graph.inputs[0].shape[0])
+        return {
+            "model": self.graph.name,
+            "backend": self.backend,
+            "platform": self.platform,
+            "precision": self.precision,
+            "metric_source": self.metric_source,
+            "batch_size": batch,
+        }
+
+
+def request_fingerprint(graph: Graph, *, backend: str, platform: str,
+                        precision: str, metric_source: str) -> str:
+    """SHA-256 hex key identifying (graph content, profiling config)."""
+    doc = {
+        "version": CACHE_KEY_VERSION,
+        "graph": graph_fingerprint(graph),
+        "backend": backend,
+        "platform": platform,
+        "precision": precision,
+        "metric_source": metric_source,
+    }
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

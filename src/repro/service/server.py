@@ -1,0 +1,339 @@
+"""The profiling service: programmatic facade + HTTP JSON API.
+
+:class:`ProfilingService` glues the pieces together — it resolves
+model names through the zoo registry, validates the configuration,
+fingerprints the request, and hands a :class:`Job` to the worker pool
+(which consults the cache and the single-flight table first).  The
+default runner builds a fresh :class:`~repro.core.profiler.Profiler`
+per job, so worker threads share nothing.
+
+:class:`ProfilingServer` exposes the facade over stdlib
+``http.server``:
+
+* ``POST /profile`` — submit a request; ``{"wait": true}`` blocks for
+  the result, otherwise 202 + job id;
+* ``GET /job/<id>`` — job status (+ report once succeeded);
+* ``GET /stats`` — cache/queue/worker metrics as JSON
+  (``/stats?format=text`` for the flat text dump);
+* ``GET /healthz`` — liveness.
+
+Client errors are 4xx, a full queue is 503, and a failed job reports
+its error string rather than crashing the server.
+"""
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qs, urlparse
+
+from ..backends import backend_by_name
+from ..core.profiler import Profiler
+from ..core.report import MetricSource, ProfileReport
+from ..hardware.specs import platform as platform_spec
+from ..ir.graph import Graph
+from ..ir.shape_inference import infer_shapes
+from ..ir.tensor import DataType
+from ..models.registry import build_model
+from .cache import ResultCache
+from .fingerprint import ProfileRequest
+from .metrics import MetricsRegistry
+from .queue import Job, JobQueue, JobStatus, QueueFullError
+from .workers import WorkerPool
+
+__all__ = ["ProfilingService", "ProfilingServer", "default_runner"]
+
+
+def default_runner(request: ProfileRequest) -> ProfileReport:
+    """Profile a request with a fresh, thread-private Profiler."""
+    profiler = Profiler(request.backend, request.platform,
+                        request.precision, request.metric_source)
+    return profiler.profile(request.graph)
+
+
+class ProfilingService:
+    """Long-running concurrent profiling front-end."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 4,
+        queue_size: int = 256,
+        cache_bytes: int = 64 << 20,
+        cache_entries: int = 512,
+        cache_dir: Optional[str] = None,
+        max_retries: int = 2,
+        backoff_seconds: float = 0.05,
+        default_timeout: Optional[float] = None,
+        runner=None,
+        max_tracked_jobs: int = 4096,
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self.cache = ResultCache(max_bytes=cache_bytes,
+                                 max_entries=cache_entries,
+                                 disk_dir=cache_dir)
+        self.queue = JobQueue(maxsize=queue_size)
+        self.pool = WorkerPool(runner or default_runner, queue=self.queue,
+                               cache=self.cache, metrics=self.metrics,
+                               num_workers=workers,
+                               backoff_seconds=backoff_seconds)
+        self.default_max_retries = max_retries
+        self.default_timeout = default_timeout
+        self.metrics.gauge("queue.depth", lambda: self.queue.depth)
+        self._jobs: Dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._max_tracked = max_tracked_jobs
+        self._ids = iter(range(1, 1 << 62))
+        #: (model key, batch, backend, platform, precision, source) ->
+        #: request fingerprint.  Zoo builders are deterministic, so a
+        #: named request's fingerprint is itself cacheable: warm repeats
+        #: skip graph construction *and* hashing (Dooly-style
+        #: redundancy awareness).  Content hashing remains authoritative
+        #: for ``graph=`` submissions.
+        self._name_keys: Dict[tuple, str] = {}
+        self._name_keys_lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ProfilingService":
+        self.pool.start()
+        return self
+
+    def stop(self) -> None:
+        self.pool.stop()
+
+    def __enter__(self) -> "ProfilingService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- submission -----------------------------------------------------
+    def submit(
+        self,
+        model: Optional[str] = None,
+        *,
+        graph: Optional[Graph] = None,
+        batch_size: int = 1,
+        backend: str = "trt-sim",
+        platform: str = "a100",
+        precision: str = "fp16",
+        metric_source: str = MetricSource.PREDICTED,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+    ) -> Job:
+        """Validate, fingerprint and enqueue one profiling request.
+
+        Exactly one of ``model`` (a zoo key) or ``graph`` must be given.
+        Returns the tracking job — possibly an already-finished one (a
+        cache hit) or an in-flight job for the same fingerprint.
+        Raises :class:`QueueFullError` under backpressure.
+        """
+        if (model is None) == (graph is None):
+            raise ValueError("pass exactly one of model= or graph=")
+        backend = backend.strip().lower()
+        platform = platform.strip().lower()
+        backend_by_name(backend)          # raise early on unknown names
+        platform_spec(platform)
+        precision = DataType.parse(precision).value
+        if metric_source not in (MetricSource.PREDICTED,
+                                 MetricSource.MEASURED):
+            raise ValueError(f"unknown metric source {metric_source!r}")
+        name_key = None
+        if model is not None:
+            model = model.strip().lower()
+            name_key = (model, batch_size, backend, platform, precision,
+                        metric_source)
+            with self._name_keys_lock:
+                known = self._name_keys.get(name_key)
+            if known is not None:
+                cached = self.cache.get(known)
+                if cached is not None:
+                    # warm fast path: no graph build, no hashing
+                    job = Job(
+                        job_id=f"job-{next(self._ids):06d}", key=known,
+                        request=None, priority=priority,
+                        summary={"model": model, "backend": backend,
+                                 "platform": platform,
+                                 "precision": precision,
+                                 "metric_source": metric_source,
+                                 "batch_size": batch_size})
+                    job.cache_hit = True
+                    job.finish(cached)
+                    self.metrics.counter("jobs.cache_hits").inc()
+                    self._track(job)
+                    return job
+            graph = build_model(model, batch_size=batch_size)
+        if not graph.value_info:
+            # worker threads only read the graph; infer shapes up front
+            infer_shapes(graph)
+        request = ProfileRequest(graph=graph, backend=backend,
+                                 platform=platform, precision=precision,
+                                 metric_source=metric_source)
+        key = request.fingerprint()
+        if name_key is not None:
+            with self._name_keys_lock:
+                self._name_keys[name_key] = key
+        job = Job(
+            job_id=f"job-{next(self._ids):06d}",
+            key=key,
+            request=request,
+            priority=priority,
+            timeout_seconds=self.default_timeout if timeout is None
+            else timeout,
+            max_retries=self.default_max_retries if max_retries is None
+            else max_retries,
+            summary=request.summary(),
+        )
+        job = self.pool.submit(job)
+        self._track(job)
+        return job
+
+    def profile(self, model: Optional[str] = None, *,
+                wait_timeout: Optional[float] = None,
+                **kwargs) -> ProfileReport:
+        """Submit and block for the report (raises on failure)."""
+        return self.submit(model, **kwargs).result(wait_timeout)
+
+    # -- inspection -----------------------------------------------------
+    def job(self, job_id: str) -> Optional[Job]:
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        job = self.job(job_id)
+        return job.cancel() if job is not None else False
+
+    def stats(self) -> Dict[str, Any]:
+        snap = self.metrics.snapshot()
+        return {
+            "cache": self.cache.stats().to_dict(),
+            "queue": {"depth": self.queue.depth,
+                      "capacity": self.queue.maxsize,
+                      "inflight": self.pool.inflight_count},
+            "workers": self.pool.num_workers,
+            "counters": snap["counters"],
+            "histograms": snap["histograms"],
+        }
+
+    def stats_text(self) -> str:
+        lines = [self.metrics.render_text()]
+        for name, value in self.cache.stats().to_dict().items():
+            lines.append(f"cache_{name} {value}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def _track(self, job: Job) -> None:
+        with self._jobs_lock:
+            self._jobs[job.id] = job
+            while len(self._jobs) > self._max_tracked:
+                self._jobs.pop(next(iter(self._jobs)))
+
+
+# ----------------------------------------------------------------------
+# HTTP front-end
+# ----------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "proof-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *args) -> None:  # pragma: no cover - quiet
+        pass
+
+    @property
+    def service(self) -> ProfilingService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        url = urlparse(self.path)
+        if url.path == "/healthz":
+            self._send_json(200, {"status": "ok"})
+        elif url.path == "/stats":
+            fmt = parse_qs(url.query).get("format", ["json"])[0]
+            if fmt == "text":
+                self._send_text(200, self.service.stats_text())
+            else:
+                self._send_json(200, self.service.stats())
+        elif url.path.startswith("/job/"):
+            job = self.service.job(url.path[len("/job/"):])
+            if job is None:
+                self._send_json(404, {"error": "unknown job"})
+            else:
+                self._send_json(200, job.to_dict(include_report=True))
+        else:
+            self._send_json(404, {"error": f"no route {url.path}"})
+
+    def do_POST(self) -> None:
+        if urlparse(self.path).path != "/profile":
+            self._send_json(404, {"error": f"no route {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(body, dict):
+                raise ValueError("request body must be a JSON object")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": f"malformed request: {exc}"})
+            return
+        wait = bool(body.pop("wait", False))
+        wait_timeout = body.pop("wait_timeout", 60.0)
+        try:
+            job = self.service.submit(**body)
+        except QueueFullError as exc:
+            self._send_json(503, {"error": str(exc)})
+            return
+        except (KeyError, ValueError, TypeError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        if not wait:
+            self._send_json(202, job.to_dict())
+            return
+        job.wait(wait_timeout)
+        if job.status == JobStatus.SUCCEEDED:
+            code = 200
+        elif job.status == JobStatus.FAILED:
+            code = 500
+        else:
+            code = 202          # cancelled, or still running at timeout
+        self._send_json(code, job.to_dict(include_report=True))
+
+    # ------------------------------------------------------------------
+    def _send_json(self, code: int, doc: Dict[str, Any]) -> None:
+        self._send_bytes(code, json.dumps(doc).encode("utf-8"),
+                         "application/json")
+
+    def _send_text(self, code: int, text: str) -> None:
+        self._send_bytes(code, text.encode("utf-8"),
+                         "text/plain; charset=utf-8")
+
+    def _send_bytes(self, code: int, payload: bytes, ctype: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+
+class ProfilingServer(ThreadingHTTPServer):
+    """``http.server`` front-end bound to one :class:`ProfilingService`.
+
+    Pass ``port=0`` to bind an ephemeral port (see :attr:`port`).  The
+    caller owns the serve loop::
+
+        with ProfilingService() as service:
+            server = ProfilingServer(service, port=8080)
+            server.serve_forever()
+    """
+
+    daemon_threads = True
+
+    def __init__(self, service: ProfilingService,
+                 host: str = "127.0.0.1", port: int = 8080) -> None:
+        super().__init__((host, port), _Handler)
+        self.service = service
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]

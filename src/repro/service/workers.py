@@ -1,0 +1,197 @@
+"""The worker pool: execution, single-flight dedup, retries, timeouts.
+
+``WorkerPool`` runs N worker loops on a :class:`ThreadPoolExecutor`.
+Each loop pops jobs off the priority queue and executes the injected
+``runner`` (the real profiler in production, anything callable in
+tests).  Around that single call sits the service's reliability policy:
+
+* **single-flight dedup** — while a fingerprint is in flight, identical
+  submissions attach to the in-flight job instead of enqueueing; N
+  concurrent identical requests trigger exactly one profile;
+* **cache short-circuit** — submissions whose fingerprint is already
+  cached complete immediately without touching the queue;
+* **retry with exponential backoff** — transient failures re-run up to
+  ``job.max_retries`` times (``backoff * 2^attempt`` sleeps); fatal
+  errors (an :class:`UnsupportedModelError` will never start working)
+  fail immediately;
+* **per-attempt timeout** — a timed attempt runs on a helper thread and
+  is abandoned when it overruns; the timeout counts as a transient
+  failure, so it participates in the retry budget.
+"""
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+from ..backends.base import UnsupportedModelError
+from .cache import ResultCache
+from .metrics import MetricsRegistry
+from .queue import (Job, JobQueue, JobStatus, JobTimeoutError,
+                    QueueFullError)
+
+__all__ = ["WorkerPool"]
+
+#: worker loops poll at this period so ``stop()`` is prompt
+_POLL_SECONDS = 0.1
+
+
+class WorkerPool:
+    """Executes queued jobs; owns dedup, retry and timeout policy."""
+
+    def __init__(
+        self,
+        runner: Callable[[Any], Any],
+        *,
+        queue: JobQueue,
+        cache: ResultCache,
+        metrics: Optional[MetricsRegistry] = None,
+        num_workers: int = 4,
+        backoff_seconds: float = 0.05,
+        fatal_exceptions: Tuple[Type[BaseException], ...] =
+            (UnsupportedModelError,),
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError("need at least one worker")
+        self._runner = runner
+        self._queue = queue
+        self._cache = cache
+        self.metrics = metrics or MetricsRegistry()
+        self.num_workers = num_workers
+        self._backoff = backoff_seconds
+        self._fatal = fatal_exceptions
+        self._inflight: Dict[str, Job] = {}
+        self._inflight_lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.num_workers, thread_name_prefix="proof-worker")
+        for _ in range(self.num_workers):
+            self._executor.submit(self._worker_loop)
+
+    def stop(self) -> None:
+        """Stop accepting work and join the worker threads.
+
+        Jobs still pending in the queue stay pending; abandon or restart
+        the pool to drain them.
+        """
+        self._running = False
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    @property
+    def inflight_count(self) -> int:
+        with self._inflight_lock:
+            return len(self._inflight)
+
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> Job:
+        """Enqueue a job, dedup against cache and in-flight work.
+
+        Returns the job that actually tracks the result — the given one,
+        or the in-flight leader it was merged onto.
+        """
+        cached = self._cache.get(job.key)
+        if cached is not None:
+            job.cache_hit = True
+            job.finish(cached)
+            self.metrics.counter("jobs.cache_hits").inc()
+            return job
+        with self._inflight_lock:
+            leader = self._inflight.get(job.key)
+            if leader is not None and not leader.done:
+                leader.dedup_count += 1
+                self.metrics.counter("jobs.deduplicated").inc()
+                return leader
+            self._inflight[job.key] = job
+        try:
+            self._queue.put(job)
+        except QueueFullError:
+            self._drop_inflight(job)
+            self.metrics.counter("jobs.rejected").inc()
+            raise
+        self.metrics.counter("jobs.submitted").inc()
+        return job
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while self._running:
+            job = self._queue.get(timeout=_POLL_SECONDS)
+            if job is not None:
+                self._execute(job)
+
+    def _execute(self, job: Job) -> None:
+        if not job.mark_running():
+            # cancelled while queued
+            self._drop_inflight(job)
+            self.metrics.counter("jobs.cancelled").inc()
+            return
+        wait = job.queue_wait_seconds
+        if wait is not None:
+            self.metrics.histogram("queue.wait_seconds").observe(wait)
+        report = None
+        last_error: Optional[BaseException] = None
+        for attempt in range(job.max_retries + 1):
+            job.attempts = attempt + 1
+            try:
+                report = self._run_attempt(job)
+                last_error = None
+                break
+            except self._fatal as exc:
+                last_error = exc
+                break
+            except Exception as exc:
+                last_error = exc
+                if attempt < job.max_retries:
+                    self.metrics.counter("jobs.retries").inc()
+                    time.sleep(self._backoff * (2 ** attempt))
+        # publish-then-unregister: followers either find the leader in
+        # flight or the result already in the cache — never neither
+        if last_error is None:
+            self._cache.put(job.key, report)
+        self._drop_inflight(job)
+        if last_error is None:
+            job.finish(report)
+            self.metrics.counter("jobs.succeeded").inc()
+            self.metrics.histogram("service.seconds").observe(
+                job.service_seconds or 0.0)
+        else:
+            job.fail(last_error)
+            self.metrics.counter("jobs.failed").inc()
+
+    def _run_attempt(self, job: Job):
+        if job.timeout_seconds is None:
+            return self._runner(job.request)
+        box: list = []
+        error: list = []
+
+        def call() -> None:
+            try:
+                box.append(self._runner(job.request))
+            except BaseException as exc:  # noqa: BLE001 - reraised below
+                error.append(exc)
+
+        helper = threading.Thread(
+            target=call, daemon=True, name=f"proof-attempt-{job.id}")
+        helper.start()
+        helper.join(job.timeout_seconds)
+        if helper.is_alive():
+            # the attempt keeps running detached; its result is discarded
+            raise JobTimeoutError(
+                f"attempt {job.attempts} exceeded {job.timeout_seconds}s")
+        if error:
+            raise error[0]
+        return box[0]
+
+    def _drop_inflight(self, job: Job) -> None:
+        with self._inflight_lock:
+            if self._inflight.get(job.key) is job:
+                del self._inflight[job.key]

@@ -92,6 +92,50 @@ def test_run_with_insights(capsys):
     assert "transpose/copy" in out
 
 
+def test_batch_command_repeats_hit_cache(capsys):
+    rc = main(["batch", "mobilenetv2-05", "--repeat", "2", "--workers", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.count("succeeded") == 2
+    assert "yes" in out                  # the repeat wave is served cached
+    assert "50.0% hit ratio" in out
+    assert "1 profiled, 1 cache hits" in out
+
+
+def test_batch_command_multiple_models(capsys):
+    rc = main(["batch", "mobilenetv2-05", "shufflenetv2-05",
+               "--workers", "2", "--batch", "4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "mobilenetv2-05" in out
+    assert "shufflenetv2-05" in out
+    assert "2 profiled" in out
+
+
+def test_batch_rejects_unknown_model():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["batch", "alexnet"])
+
+
+def test_serve_parser_defaults():
+    args = build_parser().parse_args(["serve"])
+    assert args.port == 8080
+    assert args.workers == 4
+    assert args.cache_mb == 64.0
+    assert args.queue_size == 256
+
+
+def test_serve_command_starts_and_stops(capsys, monkeypatch):
+    from repro.service import ProfilingServer
+    monkeypatch.setattr(ProfilingServer, "serve_forever",
+                        lambda self: None)
+    rc = main(["serve", "--port", "0", "--workers", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "listening on http://127.0.0.1:" in out
+    assert "POST /profile" in out
+
+
 def test_run_with_module_rollup(capsys):
     from repro.core.cli import main
     rc = main(["run", "--model", "resnet50", "--batch", "8",

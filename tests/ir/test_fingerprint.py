@@ -1,0 +1,143 @@
+"""Content-fingerprint tests: stability and sensitivity."""
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import Profiler
+from repro.core.report import ProfileReport
+from repro.ir.builder import GraphBuilder
+from repro.ir.fingerprint import array_digest, graph_fingerprint, report_digest
+from repro.ir.graph import Graph
+from repro.ir.node import Node
+from repro.ir.serialization import from_json, to_json
+from repro.ir.tensor import DataType, Initializer, TensorInfo
+from repro.models import build_model
+
+
+def small_model():
+    b = GraphBuilder("m")
+    x = b.input("x", (1, 3, 8, 8))
+    y = b.conv(x, 4, 3, padding=1, name="c1")
+    y = b.relu(y)
+    y = b.flatten(y)
+    y = b.linear(y, 10, name="fc")
+    return b.finish(y)
+
+
+def test_fingerprint_is_deterministic():
+    assert graph_fingerprint(small_model()) == graph_fingerprint(small_model())
+
+
+def test_fingerprint_stable_across_serialization_roundtrip():
+    g = small_model()
+    fp = graph_fingerprint(g)
+    for _ in range(3):
+        g = from_json(to_json(g))
+        assert graph_fingerprint(g) == fp
+
+
+def test_fingerprint_stable_for_zoo_model_roundtrip():
+    g = build_model("shufflenetv2-05", batch_size=2)
+    assert graph_fingerprint(from_json(to_json(g))) == graph_fingerprint(g)
+
+
+def _parallel_branches(order):
+    g = Graph(name="par",
+              inputs=[TensorInfo("x", (1, 4), DataType.FLOAT32)],
+              outputs=[TensorInfo("y", (1, 4), DataType.FLOAT32)])
+    nodes = {
+        "a": Node("Relu", ["x"], ["t_a"], name="a"),
+        "b": Node("Sigmoid", ["x"], ["t_b"], name="b"),
+        "add": Node("Add", ["t_a", "t_b"], ["y"], name="add"),
+    }
+    for key in order:
+        g.add_node(nodes[key])
+    g.validate()
+    return g
+
+
+def test_fingerprint_independent_of_node_list_order():
+    assert graph_fingerprint(_parallel_branches(["a", "b", "add"])) \
+        == graph_fingerprint(_parallel_branches(["b", "a", "add"]))
+
+
+def test_fingerprint_sensitive_to_attribute_change():
+    g1, g2 = small_model(), small_model()
+    conv = next(n for n in g2.nodes if n.op_type == "Conv")
+    conv.attrs["strides"] = [2, 2]
+    assert graph_fingerprint(g1) != graph_fingerprint(g2)
+
+
+def _with_constant(value):
+    g = small_model()
+    data = np.full((4,), value, dtype=np.float32)
+    g.add_initializer(
+        Initializer(TensorInfo("extra", (4,), DataType.FLOAT32), data))
+    return g
+
+
+def test_fingerprint_sensitive_to_initializer_data_change():
+    assert graph_fingerprint(_with_constant(1.0)) \
+        == graph_fingerprint(_with_constant(1.0))
+    assert graph_fingerprint(_with_constant(1.0)) \
+        != graph_fingerprint(_with_constant(2.0))
+
+
+def test_fingerprint_distinguishes_virtual_from_materialized():
+    g1, g2 = small_model(), small_model()
+    name = next(iter(g2.initializers))
+    info = g2.initializers[name].info
+    g2.initializers[name] = Initializer(
+        info, np.zeros(info.shape, dtype=np.float32))
+    assert graph_fingerprint(g1) != graph_fingerprint(g2)
+
+
+def test_fingerprint_sensitive_to_initializer_shape_change():
+    g1, g2 = small_model(), small_model()
+    virtual = next(k for k, init in g2.initializers.items()
+                   if init.data is None)
+    info = g2.initializers[virtual].info
+    bigger = TensorInfo(info.name, (info.shape[0] + 1,) + tuple(info.shape[1:]),
+                        info.dtype)
+    g2.initializers[virtual] = Initializer(bigger, None)
+    assert graph_fingerprint(g1) != graph_fingerprint(g2)
+
+
+def test_fingerprint_sensitive_to_graph_name():
+    g1, g2 = small_model(), small_model()
+    g2.name = "renamed"
+    assert graph_fingerprint(g1) != graph_fingerprint(g2)
+
+
+def test_array_digest_covers_dtype_and_shape():
+    a = np.arange(6, dtype=np.float32)
+    assert array_digest(a) != array_digest(a.astype(np.float64))
+    assert array_digest(a) != array_digest(a.reshape(2, 3))
+    assert array_digest(a) == array_digest(a.copy())
+
+
+# ----------------------------------------------------------------------
+def _profile(batch=2):
+    return Profiler("trt-sim", "a100", "fp16").profile(
+        build_model("mobilenetv2-05", batch_size=batch))
+
+
+def test_report_digest_deterministic_across_runs():
+    assert report_digest(_profile()) == report_digest(_profile())
+
+
+def test_report_digest_stable_across_json_roundtrip():
+    report = _profile()
+    restored = ProfileReport.from_dict(json.loads(report.to_json()))
+    assert report_digest(restored) == report_digest(report)
+
+
+def test_report_digest_sensitive_to_metrics():
+    a, b = _profile(), _profile()
+    b.layers[0].flop += 1.0
+    assert report_digest(a) != report_digest(b)
+
+
+def test_report_digest_differs_across_batch_sizes():
+    assert report_digest(_profile(1)) != report_digest(_profile(2))

@@ -1,0 +1,95 @@
+"""Result-cache tests: LRU accounting, byte budgets, the disk tier."""
+import pytest
+
+from repro.ir.fingerprint import report_digest
+from repro.service.cache import ResultCache
+
+
+def test_roundtrip_and_stats(make_report):
+    cache = ResultCache()
+    report = make_report("a")
+    assert cache.get("k1") is None
+    cache.put("k1", report)
+    assert cache.get("k1") is report
+    stats = cache.stats()
+    assert (stats.hits, stats.misses, stats.insertions) == (1, 1, 1)
+    assert stats.hit_ratio == 0.5
+    assert stats.bytes > 0
+
+
+def test_entry_bound_evicts_lru(make_report):
+    cache = ResultCache(max_entries=2)
+    cache.put("a", make_report("a"))
+    cache.put("b", make_report("b"))
+    cache.get("a")                      # refresh a; b becomes LRU
+    cache.put("c", make_report("c"))
+    assert "a" in cache and "c" in cache
+    assert "b" not in cache
+    assert cache.stats().evictions == 1
+
+
+def test_byte_budget_evicts(make_report):
+    probe = ResultCache()
+    probe.put("x", make_report("x"))
+    one = probe.stats().bytes
+    cache = ResultCache(max_bytes=int(one * 1.5))
+    cache.put("a", make_report("a"))
+    cache.put("b", make_report("b"))
+    stats = cache.stats()
+    assert stats.evictions == 1
+    assert stats.entries == 1
+    assert stats.bytes <= cache.max_bytes
+
+
+def test_tiny_budget_drops_even_the_new_entry(make_report):
+    cache = ResultCache(max_bytes=16)
+    cache.put("a", make_report("a"))
+    assert len(cache) == 0
+    assert cache.stats().evictions == 1
+
+
+def test_reinsert_same_key_replaces(make_report):
+    cache = ResultCache()
+    cache.put("a", make_report("a", latency=1e-3))
+    cache.put("a", make_report("a", latency=2e-3))
+    assert len(cache) == 1
+    assert cache.get("a").end_to_end.latency_seconds == 2e-3
+
+
+def test_disk_tier_survives_restart(tmp_path, make_report):
+    report = make_report("persisted")
+    first = ResultCache(disk_dir=str(tmp_path))
+    first.put("k", report)
+    # a fresh cache (fresh process, conceptually) reads the disk tier
+    second = ResultCache(disk_dir=str(tmp_path))
+    restored = second.get("k")
+    assert restored is not None
+    assert report_digest(restored) == report_digest(report)
+    stats = second.stats()
+    assert stats.disk_hits == 1 and stats.misses == 0
+    assert stats.hit_ratio == 1.0
+    # promoted to memory: next read is a memory hit
+    assert second.get("k") is restored
+    assert second.stats().hits == 1
+
+
+def test_disk_tier_ignores_corrupt_entry(tmp_path, make_report):
+    cache = ResultCache(disk_dir=str(tmp_path))
+    (tmp_path / "bad.json").write_text("{not json")
+    assert cache.get("bad") is None
+    assert cache.stats().misses == 1
+
+
+def test_clear_keeps_disk(tmp_path, make_report):
+    cache = ResultCache(disk_dir=str(tmp_path))
+    cache.put("k", make_report())
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get("k") is not None   # reloaded from disk
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(ValueError):
+        ResultCache(max_bytes=0)
+    with pytest.raises(ValueError):
+        ResultCache(max_entries=0)

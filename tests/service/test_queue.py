@@ -1,0 +1,95 @@
+"""Job and priority-queue tests."""
+import pytest
+
+from repro.service.queue import (Job, JobCancelledError, JobFailedError,
+                                 JobQueue, JobStatus, QueueFullError)
+
+
+def make_job(job_id="j1", key="k", priority=0):
+    return Job(job_id, key, request=object(), priority=priority)
+
+
+def test_priority_ordering_fifo_within_level():
+    q = JobQueue(maxsize=8)
+    low = make_job("low", priority=0)
+    first = make_job("first", priority=1)
+    second = make_job("second", priority=1)
+    urgent = make_job("urgent", priority=5)
+    for job in (low, first, second, urgent):
+        q.put(job)
+    assert [q.get().id for _ in range(4)] \
+        == ["urgent", "first", "second", "low"]
+
+
+def test_bounded_queue_rejects_when_full():
+    q = JobQueue(maxsize=2)
+    q.put(make_job("a"))
+    q.put(make_job("b"))
+    with pytest.raises(QueueFullError):
+        q.put(make_job("c"))
+    q.get()
+    q.put(make_job("c"))                 # capacity freed
+
+
+def test_get_timeout_returns_none():
+    q = JobQueue(maxsize=2)
+    assert q.get(timeout=0.01) is None
+
+
+def test_invalid_maxsize():
+    with pytest.raises(ValueError):
+        JobQueue(maxsize=0)
+
+
+# ----------------------------------------------------------------------
+def test_job_lifecycle_success(make_report):
+    job = make_job()
+    assert job.status == JobStatus.PENDING and not job.done
+    assert job.mark_running()
+    assert not job.mark_running()        # cannot claim twice
+    report = make_report()
+    job.finish(report)
+    assert job.done
+    assert job.result(timeout=0.1) is report
+    assert job.request is None           # graph released on completion
+    assert job.queue_wait_seconds >= 0.0
+    assert job.service_seconds >= 0.0
+
+
+def test_job_failure_raises_from_result():
+    job = make_job()
+    job.mark_running()
+    job.fail(RuntimeError("boom"))
+    assert job.status == JobStatus.FAILED
+    with pytest.raises(JobFailedError, match="boom"):
+        job.result(timeout=0.1)
+
+
+def test_cancel_pending_only(make_report):
+    job = make_job()
+    assert job.cancel()
+    assert job.status == JobStatus.CANCELLED
+    with pytest.raises(JobCancelledError):
+        job.result(timeout=0.1)
+    running = make_job("j2")
+    running.mark_running()
+    assert not running.cancel()
+
+
+def test_result_times_out_when_never_finished():
+    with pytest.raises(TimeoutError):
+        make_job().result(timeout=0.01)
+
+
+def test_job_to_dict_shape(make_report):
+    job = Job("job-7", "deadbeef", request=object(), priority=3,
+              summary={"model": "resnet50"})
+    job.mark_running()
+    job.finish(make_report("resnet50"))
+    doc = job.to_dict(include_report=True)
+    assert doc["id"] == "job-7"
+    assert doc["status"] == JobStatus.SUCCEEDED
+    assert doc["priority"] == 3
+    assert doc["request"]["model"] == "resnet50"
+    assert doc["report"]["model_name"] == "resnet50"
+    assert "report" not in job.to_dict()

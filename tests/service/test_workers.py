@@ -1,0 +1,196 @@
+"""Worker-pool tests: single-flight dedup, retries, timeouts, cancel."""
+import threading
+import time
+
+import pytest
+
+from repro.backends.base import UnsupportedModelError
+from repro.service.cache import ResultCache
+from repro.service.metrics import MetricsRegistry
+from repro.service.queue import Job, JobFailedError, JobQueue, JobStatus
+from repro.service.workers import WorkerPool
+
+
+class Request:
+    """A minimal stand-in for a ProfileRequest in runner-level tests."""
+
+    def __init__(self, name="m"):
+        self.name = name
+
+
+def make_pool(runner, workers=4, backoff=0.001, queue_size=64):
+    queue = JobQueue(maxsize=queue_size)
+    pool = WorkerPool(runner, queue=queue, cache=ResultCache(),
+                      metrics=MetricsRegistry(), num_workers=workers,
+                      backoff_seconds=backoff)
+    return pool
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+# ----------------------------------------------------------------------
+def test_single_flight_dedup_16_concurrent_submissions(make_report):
+    calls = []
+    lock = threading.Lock()
+
+    def runner(request):
+        with lock:
+            calls.append(request)
+        time.sleep(0.1)                  # keep the job in flight
+        return make_report(request.name)
+
+    pool = make_pool(runner, workers=8)
+    pool.start()
+    try:
+        results = []
+        barrier = threading.Barrier(16)
+
+        def submit():
+            barrier.wait()
+            job = pool.submit(Job(f"job-{threading.get_ident()}", "same-key",
+                                  Request("dup")))
+            results.append(job.result(timeout=5.0))
+
+        threads = [threading.Thread(target=submit) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1           # the profiler ran exactly once
+        assert len(results) == 16
+        assert len({id(r) for r in results}) == 1
+        assert pool.metrics.counter("jobs.deduplicated").value == 15
+        assert pool.metrics.counter("jobs.submitted").value == 1
+    finally:
+        pool.stop()
+
+
+def test_cache_short_circuits_submission(make_report):
+    calls = []
+
+    def runner(request):
+        calls.append(request)
+        return make_report()
+
+    pool = make_pool(runner, workers=1)
+    pool.start()
+    try:
+        first = pool.submit(Job("j1", "k", Request()))
+        first.result(timeout=5.0)
+        second = pool.submit(Job("j2", "k", Request()))
+        assert second.done and second.cache_hit
+        assert second.report is first.report
+        assert len(calls) == 1
+        assert pool.metrics.counter("jobs.cache_hits").value == 1
+    finally:
+        pool.stop()
+
+
+def test_retry_with_backoff_then_success(make_report):
+    attempts = []
+
+    def runner(request):
+        attempts.append(time.monotonic())
+        if len(attempts) < 3:
+            raise ConnectionError("transient")
+        return make_report()
+
+    pool = make_pool(runner, workers=1, backoff=0.02)
+    pool.start()
+    try:
+        job = pool.submit(Job("j1", "k", Request(), max_retries=3))
+        report = job.result(timeout=5.0)
+        assert report is not None
+        assert job.attempts == 3
+        assert pool.metrics.counter("jobs.retries").value == 2
+        # exponential backoff: second gap (0.04s) > first gap (0.02s)
+        gap1, gap2 = attempts[1] - attempts[0], attempts[2] - attempts[1]
+        assert gap2 > gap1 >= 0.02
+    finally:
+        pool.stop()
+
+
+def test_retry_exhaustion_fails_job_without_crashing(make_report):
+    def runner(request):
+        if request.name == "bad":
+            raise RuntimeError("injected worker failure")
+        return make_report(request.name)
+
+    pool = make_pool(runner, workers=1)
+    pool.start()
+    try:
+        bad = pool.submit(Job("j1", "bad-key", Request("bad"),
+                              max_retries=2))
+        with pytest.raises(JobFailedError, match="injected worker failure"):
+            bad.result(timeout=5.0)
+        assert bad.status == JobStatus.FAILED
+        assert bad.attempts == 3         # initial + 2 retries
+        assert pool.metrics.counter("jobs.failed").value == 1
+        # the pool survives and serves the next request
+        good = pool.submit(Job("j2", "good-key", Request("good")))
+        assert good.result(timeout=5.0).model_name == "good"
+    finally:
+        pool.stop()
+
+
+def test_fatal_error_is_not_retried():
+    def runner(request):
+        raise UnsupportedModelError("npu rejects this model")
+
+    pool = make_pool(runner, workers=1)
+    pool.start()
+    try:
+        job = pool.submit(Job("j1", "k", Request()))
+        with pytest.raises(JobFailedError, match="npu rejects"):
+            job.result(timeout=5.0)
+        assert job.attempts == 1
+        assert pool.metrics.counter("jobs.retries").value == 0
+    finally:
+        pool.stop()
+
+
+def test_timeout_counts_against_retry_budget(make_report):
+    def runner(request):
+        time.sleep(0.5)
+        return make_report()
+
+    pool = make_pool(runner, workers=1, backoff=0.001)
+    pool.start()
+    try:
+        job = pool.submit(Job("j1", "k", Request(),
+                              timeout_seconds=0.05, max_retries=1))
+        with pytest.raises(JobFailedError, match="exceeded 0.05s"):
+            job.result(timeout=5.0)
+        assert job.attempts == 2
+    finally:
+        pool.stop()
+
+
+def test_cancelled_job_is_skipped_not_run(make_report):
+    calls = []
+
+    def runner(request):
+        calls.append(request)
+        return make_report()
+
+    pool = make_pool(runner, workers=1)   # not started yet
+    job = pool.submit(Job("j1", "k", Request()))
+    assert job.cancel()
+    pool.start()
+    try:
+        assert wait_until(
+            lambda: pool.metrics.counter("jobs.cancelled").value == 1)
+        assert calls == []
+        assert pool.inflight_count == 0
+        # the key is free again for a fresh submission
+        redo = pool.submit(Job("j2", "k", Request()))
+        assert redo.result(timeout=5.0) is not None
+    finally:
+        pool.stop()

@@ -1,0 +1,190 @@
+"""Benchmark: compiled execution plans and analysis memoization.
+
+Two claims, each with a hard floor (ISSUE 2 acceptance criteria):
+
+* re-executing a compiled :class:`~repro.ir.plan.ExecutionPlan` is
+  >= 3x faster than re-running the uncompiled ``execute()`` path, and
+* re-profiling through a warm :class:`~repro.analysis.cache.AnalysisCache`
+  is >= 5x faster than the uncached structural phase of
+  ``Profiler.profile``.
+
+Correctness rides along: the plan must be **bit-identical** to the
+legacy executor on every model in the zoo, and memoized analysis must
+produce ``report_digest``-identical reports.  Set ``PROOF_BENCH_SMOKE=1``
+to run only the correctness assertions (CI does this on every push);
+the timing runs also refresh ``BENCH_plan.json`` at the repo root.
+
+Zoo models run at reduced resolutions/sequence lengths: the numpy
+executor is the reference, not a fast runtime, and the reductions keep
+every architecture (grouped/dilated convs, windowed attention, the
+UNet) structurally intact.  Swin is the exception — patch-merge parity
+requires its native 224 input.
+"""
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.cache import AnalysisCache
+from repro.core.profiler import Profiler
+from repro.ir import compile_plan, execute, report_digest
+from repro.models.registry import MODEL_ZOO
+
+SMOKE = os.environ.get("PROOF_BENCH_SMOKE") == "1"
+BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_plan.json")
+
+REDUCED = {
+    "distilbert": dict(seq_len=32),
+    "sd-unet": dict(latent_size=32),
+    "swin-tiny": {}, "swin-small": {}, "swin-base": {},
+}
+_DEFAULT = dict(image_size=64)
+
+#: overhead-bound CNNs where compiled dispatch + scratch arenas matter
+EXEC_MODELS = ["mobilenetv2-05", "shufflenetv2-10", "efficientnet-b0"]
+ANALYSIS_MODEL = "shufflenetv2-10"
+EXEC_FLOOR = 3.0
+ANALYSIS_FLOOR = 5.0
+REPS = 3
+
+
+def build(key):
+    return MODEL_ZOO[key].build(batch_size=1, **REDUCED.get(key, _DEFAULT))
+
+
+def feeds_for(graph, seed=5):
+    rng = np.random.default_rng(seed)
+    feeds = {}
+    for t in graph.inputs:
+        dt = t.dtype.to_numpy()
+        if t.dtype.is_integer:
+            feeds[t.name] = rng.integers(0, 100, size=t.shape, dtype=dt)
+        else:
+            feeds[t.name] = rng.standard_normal(t.shape).astype(dt)
+    return feeds
+
+
+def _best_of(fn, reps=REPS):
+    """Best-of-N wall time: robust against scheduler noise."""
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def _update_bench(section, payload):
+    doc = {}
+    if os.path.exists(BENCH_PATH):
+        with open(BENCH_PATH, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    doc["benchmark"] = "plan_speedup"
+    doc[section] = payload
+    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# correctness (runs in smoke mode too)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("key", sorted(MODEL_ZOO))
+def test_zoo_bit_identity(key):
+    """Plan output must equal legacy execute() byte-for-byte, twice
+    (the second run catches stale scratch-arena state)."""
+    graph = build(key)
+    feeds = feeds_for(graph)
+    ref = execute(graph, feeds)
+    plan = compile_plan(graph)
+    for _ in range(2):
+        out = plan.run(feeds)
+        for name, want in ref.items():
+            got = out[name]
+            assert got.dtype == want.dtype and got.shape == want.shape
+            assert got.tobytes() == want.tobytes(), \
+                f"{key}: {name} differs between plan and legacy executor"
+
+
+def test_memoized_analysis_is_digest_identical():
+    graph = build(ANALYSIS_MODEL)
+    cold = Profiler("trt-sim", "a100", analysis_cache=False).profile(graph)
+    cache = AnalysisCache()
+    for _ in range(3):
+        warm = Profiler("trt-sim", "a100",
+                        analysis_cache=cache).profile(graph)
+        assert report_digest(warm) == report_digest(cold)
+    assert cache.stats()["mapped"]["hits"] == 2
+
+
+# ----------------------------------------------------------------------
+# timing floors (skipped in smoke mode)
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(SMOKE, reason="PROOF_BENCH_SMOKE=1: correctness only")
+def test_repeat_execution_speedup():
+    results = {}
+    for key in EXEC_MODELS:
+        graph = build(key)
+        feeds = feeds_for(graph)
+        execute(graph, feeds)               # warm-up materializes weights
+        plan = compile_plan(graph)
+        plan.run(feeds)
+        legacy = _best_of(lambda: execute(graph, feeds))
+        planned = _best_of(lambda: plan.run(feeds))
+        speedup = legacy / planned
+        results[key] = {"legacy_ms": round(legacy * 1e3, 3),
+                        "plan_ms": round(planned * 1e3, 3),
+                        "speedup": round(speedup, 2)}
+        assert speedup >= EXEC_FLOOR, \
+            f"{key}: plan speedup {speedup:.2f}x < {EXEC_FLOOR}x floor"
+    _update_bench("execution", {"floor": EXEC_FLOOR, "reps": REPS,
+                                "models": results})
+
+
+@pytest.mark.skipif(SMOKE, reason="PROOF_BENCH_SMOKE=1: correctness only")
+def test_repeat_analysis_speedup():
+    graph = build(ANALYSIS_MODEL)
+
+    def cold():
+        Profiler("trt-sim", "a100", analysis_cache=False).profile(graph)
+
+    cache = AnalysisCache()
+
+    def warm():
+        Profiler("trt-sim", "a100", analysis_cache=cache).profile(graph)
+
+    cold()                                   # JIT/alloc warm-up
+    warm()                                   # populates the cache
+    cold_t = _best_of(cold)
+    warm_t = _best_of(warm)
+    speedup = cold_t / warm_t
+    _update_bench("analysis", {
+        "floor": ANALYSIS_FLOOR, "reps": REPS, "model": ANALYSIS_MODEL,
+        "cold_ms": round(cold_t * 1e3, 3),
+        "warm_ms": round(warm_t * 1e3, 3),
+        "speedup": round(speedup, 2)})
+    assert speedup >= ANALYSIS_FLOOR, \
+        f"warm analysis {speedup:.2f}x < {ANALYSIS_FLOOR}x floor"
+
+
+@pytest.mark.skipif(SMOKE, reason="PROOF_BENCH_SMOKE=1: correctness only")
+def test_precision_sweep_shares_structural_work():
+    """A precision/batch sweep misses the report cache by design; the
+    analysis cache still shares shape inference across its points."""
+    graph = build(ANALYSIS_MODEL)
+    cache = AnalysisCache()
+    t0 = time.perf_counter()
+    for precision in ("fp16", "fp32", "int8"):
+        Profiler("trt-sim", "a100", precision,
+                 analysis_cache=cache).profile(graph)
+    elapsed = time.perf_counter() - t0
+    stats = cache.stats()
+    assert stats["arep"]["misses"] == 3      # one AR per precision
+    assert stats["mapped"]["misses"] == 3
+    _update_bench("precision_sweep", {
+        "model": ANALYSIS_MODEL, "points": 3,
+        "total_ms": round(elapsed * 1e3, 3),
+        "tiers": stats})

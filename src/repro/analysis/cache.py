@@ -1,0 +1,214 @@
+"""Structural analysis memoization for profiling sweeps.
+
+The structural work behind :meth:`repro.core.profiler.Profiler.profile`
+— shape inference, the Analyze Representation (AR), the backend-fused
+Optimized Analyze Representation (OAR) and, on the execution side, a
+compiled :class:`~repro.ir.plan.ExecutionPlan` — depends only on the
+graph's content, not on which profiling run asked for it.  Sweeps over
+precisions, batch sizes and backends (the paper's §3.2–3.3 workflow)
+therefore repeat it wholesale, and the PR 1 report cache cannot help:
+each sweep point is a *different* report.
+
+:class:`AnalysisCache` memoizes those intermediates under
+content-addressed keys built from :func:`~repro.ir.fingerprint.graph_fingerprint`:
+
+========  ==========================================  ===================
+tier      key                                         value
+========  ==========================================  ===================
+shapes    ``fp``                                      ``value_info`` map
+arep      ``fp, precision``                           AR
+mapped    ``fp, backend, spec, precision``            compiled + AR + OAR
+                                                      + mapped layers
+plan      ``fp, seed``                                ExecutionPlan
+========  ==========================================  ===================
+
+The ``mapped`` tier stores the *post-mapping* OAR — backend layer
+mapping mutates the OAR (``set_fused_op``), so the safely shareable
+artifact is the finished state, keyed by everything that shaped it.
+Entries carry a ``memo`` dict for caller-side derived values (the
+profiler parks its per-layer cost prototypes there) so this module
+stays independent of :mod:`repro.core`.
+
+Sharing a cached AR/OAR across profiler calls is sound because both are
+read-only after mapping; sharing across *graph objects* is sound
+because equal fingerprints imply equal structure and the analysis never
+reads materialized weight values.  All tiers are guarded by one lock;
+concurrent misses on the same key may build twice (last write wins with
+an equivalent value) but never block each other on dict access.
+"""
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..ir.fingerprint import graph_fingerprint
+from ..ir.graph import Graph
+from ..ir.plan import ExecutionPlan
+from ..ir.shape_inference import infer_shapes
+from .arep import AnalyzeRepresentation
+from .oarep import OptimizedAnalyzeRepresentation
+
+__all__ = ["AnalysisCache", "MappedEntry", "shared_analysis_cache"]
+
+
+@dataclass
+class MappedEntry:
+    """Everything the profiler derives structurally for one backend."""
+
+    compiled: Any
+    arep: AnalyzeRepresentation
+    oar: OptimizedAnalyzeRepresentation
+    mapped: List[Any]
+    #: caller-side derived values keyed by the caller (kept generic so
+    #: the analysis layer does not import profiler types)
+    memo: Dict[Any, Any] = field(default_factory=dict)
+
+
+class AnalysisCache:
+    """LRU memo for shape inference, AR/OAR and compiled plans."""
+
+    TIERS = ("shapes", "arep", "mapped", "plan")
+
+    def __init__(self, max_entries: int = 128) -> None:
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = {t: 0 for t in self.TIERS}
+        self._misses = {t: 0 for t in self.TIERS}
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _get(self, tier: str, key: Tuple) -> Tuple[bool, Any]:
+        full = (tier,) + key
+        with self._lock:
+            if full in self._entries:
+                self._entries.move_to_end(full)
+                self._hits[tier] += 1
+                return True, self._entries[full]
+            self._misses[tier] += 1
+            return False, None
+
+    def _put(self, tier: str, key: Tuple, value: Any) -> Any:
+        full = (tier,) + key
+        with self._lock:
+            self._entries[full] = value
+            self._entries.move_to_end(full)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return value
+
+    def get_or_build(self, tier: str, key: Tuple,
+                     build: Callable[[], Any]) -> Any:
+        """Generic get-or-build against one tier (``tier`` must be known)."""
+        if tier not in self.TIERS:
+            raise KeyError(f"unknown cache tier {tier!r}")
+        hit, value = self._get(tier, key)
+        if hit:
+            return value
+        return self._put(tier, key, build())
+
+    # ------------------------------------------------------------------
+    # tiers
+    # ------------------------------------------------------------------
+    def fingerprint(self, graph: Graph) -> str:
+        """Content fingerprint (memoized on the graph object itself)."""
+        return graph_fingerprint(graph)
+
+    def ensure_shapes(self, graph: Graph) -> str:
+        """Fill ``graph.value_info`` (cached per fingerprint); return fp.
+
+        A hit installs the memoized tensor table on ``graph`` without
+        re-running inference; :class:`~repro.ir.tensor.TensorInfo` is
+        immutable, so the infos themselves are shared.
+        """
+        fp = self.fingerprint(graph)
+        if graph.value_info:
+            # already inferred — seed the tier so sibling graphs hit
+            with self._lock:
+                self._entries.setdefault(("shapes", fp), graph.value_info)
+            return fp
+        hit, info = self._get("shapes", (fp,))
+        if hit:
+            graph.value_info = dict(info)
+            return fp
+        infer_shapes(graph)
+        self._put("shapes", (fp,), dict(graph.value_info))
+        return fp
+
+    def arep(self, graph: Graph, precision: Any) -> AnalyzeRepresentation:
+        """AR for ``graph`` at ``precision`` (cached per fp+precision)."""
+        fp = self.ensure_shapes(graph)
+        key = (fp, getattr(precision, "value", precision))
+        return self.get_or_build(
+            "arep", key, lambda: AnalyzeRepresentation(graph, precision))
+
+    def oar(self, graph: Graph, precision: Any) -> OptimizedAnalyzeRepresentation:
+        """A *fresh* OAR over the cached AR.
+
+        OARs are mutated by backend layer mapping, so they are never
+        shared pre-mapping; the finished state lives in the ``mapped``
+        tier.
+        """
+        return OptimizedAnalyzeRepresentation(self.arep(graph, precision))
+
+    def mapped_entry(self, graph: Graph, backend_key: str, spec_key: str,
+                     precision: Any,
+                     build: Callable[[AnalyzeRepresentation], MappedEntry],
+                     ) -> MappedEntry:
+        """Post-mapping entry for one (graph, backend, spec, precision).
+
+        ``build`` receives the cached AR and returns the finished
+        :class:`MappedEntry`; it runs only on a miss.
+        """
+        fp = self.ensure_shapes(graph)
+        key = (fp, backend_key, spec_key, getattr(precision, "value", precision))
+        hit, entry = self._get("mapped", key)
+        if hit:
+            return entry
+        entry = build(self.arep(graph, precision))
+        return self._put("mapped", key, entry)
+
+    def plan(self, graph: Graph, seed: int = 0) -> ExecutionPlan:
+        """Compiled :class:`ExecutionPlan` for ``graph`` (cached per fp+seed)."""
+        fp = self.ensure_shapes(graph)
+        return self.get_or_build(
+            "plan", (fp, seed), lambda: ExecutionPlan(graph, seed=seed))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        with self._lock:
+            return {t: {"hits": self._hits[t], "misses": self._misses[t]}
+                    for t in self.TIERS}
+
+    def hit_counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._hits)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            for t in self.TIERS:
+                self._hits[t] = 0
+                self._misses[t] = 0
+
+
+_shared: Optional[AnalysisCache] = None
+_shared_lock = threading.Lock()
+
+
+def shared_analysis_cache() -> AnalysisCache:
+    """Process-wide default cache (what ``analysis_cache=True`` resolves to)."""
+    global _shared
+    with _shared_lock:
+        if _shared is None:
+            _shared = AnalysisCache()
+        return _shared

@@ -98,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["fp32", "fp16", "int8"])
     bat.add_argument("--batch", type=int, default=1)
     bat.add_argument("--workers", type=int, default=4)
+    bat.add_argument("--jobs", type=int, default=1,
+                     help="parallel submission threads; submission builds "
+                          "the model graph, so N>1 overlaps graph "
+                          "construction with profiling and keeps all "
+                          "--workers busy")
     bat.add_argument("--repeat", type=int, default=1,
                      help="submit the list this many times "
                           "(repeats exercise the result cache)")
@@ -214,13 +219,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from ..service import JobStatus, ProfilingService
     failed = 0
     with ProfilingService(workers=args.workers) as service:
+        def submit_one(model: str):
+            return service.submit(
+                model, batch_size=args.batch, backend=args.backend,
+                platform=args.platform, precision=args.precision)
+
         print(f"{'model':22s} {'status':>9s} {'latency(ms)':>12s} "
               f"{'cached':>7s}")
         for _ in range(args.repeat):
-            jobs = [(m, service.submit(
-                m, batch_size=args.batch, backend=args.backend,
-                platform=args.platform, precision=args.precision))
-                for m in args.models]
+            if args.jobs > 1:
+                from concurrent.futures import ThreadPoolExecutor
+                with ThreadPoolExecutor(max_workers=args.jobs) as ex:
+                    jobs = list(zip(args.models,
+                                    ex.map(submit_one, args.models)))
+            else:
+                jobs = [(m, submit_one(m)) for m in args.models]
             for model, job in jobs:
                 job.wait()
                 if job.status == JobStatus.SUCCEEDED:
@@ -241,6 +254,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"jobs : {counters.get('jobs.submitted', 0)} profiled, "
               f"{counters.get('jobs.cache_hits', 0)} cache hits, "
               f"{counters.get('jobs.deduplicated', 0)} deduplicated")
+        tiers = stats["analysis_cache"]
+        print("analysis cache: " + ", ".join(
+            f"{tier} {v['hits']}/{v['hits'] + v['misses']}"
+            for tier, v in tiers.items()) + " (hits/lookups per tier)")
     return 1 if failed else 0
 
 

@@ -16,9 +16,11 @@
 """
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional, Union
 
 from ..analysis.arep import AnalyzedOp, AnalyzeRepresentation
+from ..analysis.cache import AnalysisCache, MappedEntry, shared_analysis_cache
 from ..analysis.oarep import OptimizedAnalyzeRepresentation
 from ..analysis.opdefs import OpClass
 from ..backends import Backend, backend_by_name, map_layers
@@ -35,6 +37,22 @@ from .roofline import Roofline, RooflinePoint, roofline_for
 __all__ = ["Profiler", "profile_model"]
 
 
+def _graph_batch_size(graph: Graph) -> int:
+    """Leading dim of the first input, defaulting to 1 for symbolic dims.
+
+    Builders may leave the batch dimension symbolic (a string like
+    ``"N"``); that must not leak into ``EndToEnd.batch_size``, which is
+    arithmetic downstream (per-sample latency, throughput).
+    """
+    if graph.inputs and graph.inputs[0].shape:
+        dim = graph.inputs[0].shape[0]
+        if isinstance(dim, bool):
+            return 1
+        if isinstance(dim, int) and dim > 0:
+            return dim
+    return 1
+
+
 class Profiler:
     """Configured PRoof instance: backend + platform + precision + mode."""
 
@@ -45,6 +63,7 @@ class Profiler:
         precision: Union[DataType, str] = DataType.FLOAT16,
         metric_source: str = MetricSource.PREDICTED,
         counter_profiler: Optional[CounterProfiler] = None,
+        analysis_cache: Union[AnalysisCache, bool, None] = True,
     ) -> None:
         self.backend = backend_by_name(backend) if isinstance(backend, str) \
             else backend
@@ -55,17 +74,57 @@ class Profiler:
             raise ValueError(f"unknown metric source {metric_source!r}")
         self.metric_source = metric_source
         self.counters = counter_profiler or CounterProfiler(self.spec)
+        #: memoizes shapes / AR / OAR+mapping across profile() calls;
+        #: ``True`` (default) uses the process-wide shared cache,
+        #: ``False``/``None`` disables, an instance scopes it explicitly
+        if analysis_cache is True:
+            self.analysis_cache: Optional[AnalysisCache] = \
+                shared_analysis_cache()
+        elif analysis_cache in (False, None):
+            self.analysis_cache = None
+        else:
+            self.analysis_cache = analysis_cache
 
     # ------------------------------------------------------------------
+    def _spec_key(self) -> str:
+        return repr([(f.name, repr(getattr(self.spec, f.name)))
+                     for f in dataclasses.fields(self.spec)])
+
+    def _mapped_entry(self, graph: Graph) -> MappedEntry:
+        """Structural phase: compile, AR, OAR, layer mapping — memoized."""
+
+        def build(arep: AnalyzeRepresentation) -> MappedEntry:
+            compiled = self.backend.compile(graph, self.spec, self.precision)
+            oar = OptimizedAnalyzeRepresentation(arep)
+            mapped = map_layers(compiled, oar)
+            return MappedEntry(compiled=compiled, arep=arep, oar=oar,
+                               mapped=mapped)
+
+        cache = self.analysis_cache
+        if cache is None:
+            if not graph.value_info:
+                infer_shapes(graph)
+            compiled = self.backend.compile(graph, self.spec, self.precision)
+            arep = AnalyzeRepresentation(graph, self.precision)
+            oar = OptimizedAnalyzeRepresentation(arep)
+            mapped = map_layers(compiled, oar)
+            return MappedEntry(compiled=compiled, arep=arep, oar=oar,
+                               mapped=mapped)
+        return cache.mapped_entry(graph, self.backend.name, self._spec_key(),
+                                  self.precision, build)
+
     def profile(self, graph: Graph) -> ProfileReport:
         """Run the full workflow on a model graph."""
-        if not graph.value_info:
-            infer_shapes(graph)
-        compiled = self.backend.compile(graph, self.spec, self.precision)
-        arep = AnalyzeRepresentation(graph, self.precision)
-        oar = OptimizedAnalyzeRepresentation(arep)
-        mapped = map_layers(compiled, oar)
-        layers = [self._layer_profile(m, arep) for m in mapped]
+        entry = self._mapped_entry(graph)
+        compiled, arep, mapped = entry.compiled, entry.arep, entry.mapped
+        protos = entry.memo.get("layer_profiles")
+        if protos is None:
+            protos = [self._layer_profile(m, arep) for m in mapped]
+            entry.memo["layer_profiles"] = protos
+        # MEASURED mode mutates scalar fields in place, so hand out copies
+        layers = [dataclasses.replace(lp, model_layers=list(lp.model_layers),
+                                      folded_layers=list(lp.folded_layers))
+                  for lp in protos]
         overhead = 0.0
         if self.metric_source == MetricSource.MEASURED:
             measurements = self._measurements(mapped, arep)
@@ -80,7 +139,7 @@ class Profiler:
                 [m for m in measurements if m is not None],
                 [lp.latency_seconds for lp, m in zip(layers, measurements)
                  if m is not None])
-        batch = graph.inputs[0].shape[0] if graph.inputs and graph.inputs[0].shape else 1
+        batch = _graph_batch_size(graph)
         e2e = EndToEnd(
             latency_seconds=sum(l.latency_seconds for l in layers),
             flop=sum(l.flop for l in layers),

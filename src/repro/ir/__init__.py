@@ -15,6 +15,8 @@ from .shape_inference import (
     registered_ops,
 )
 from .executor import ExecutionError, Executor, execute, supported_ops
+from .plan import ExecutionPlan, compile_plan
+from .passes import fold_shape_constants
 from .serialization import from_json, load, save, to_json
 from .fingerprint import array_digest, graph_fingerprint, report_digest
 
@@ -23,6 +25,7 @@ __all__ = [
     "GraphBuilder", "ShapeInferenceError", "broadcast_shapes",
     "conv_output_spatial", "infer_shapes", "registered_ops",
     "ExecutionError", "Executor", "execute", "supported_ops",
+    "ExecutionPlan", "compile_plan", "fold_shape_constants",
     "from_json", "load", "save", "to_json",
     "array_digest", "graph_fingerprint", "report_digest",
 ]

@@ -10,7 +10,7 @@ exactly the data layout trick production kernels use.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,15 +44,21 @@ def _one(x: np.ndarray) -> List[np.ndarray]:
 # ---------------------------------------------------------------------------
 # convolution (im2col) and pooling
 # ---------------------------------------------------------------------------
-def _resolve_pads(node: Node, x: np.ndarray, kernel, strides, dilations):
-    spatial = x.ndim - 2
+def _resolve_pads_for_shape(node: Node, shape: Sequence[int],
+                            kernel, strides, dilations) -> List[int]:
+    """Resolve pads from attributes + auto_pad given the input *shape*.
+
+    Split out from :func:`_resolve_pads` so compiled execution plans can
+    resolve padding once at plan time from statically inferred shapes.
+    """
+    spatial = len(shape) - 2
     pads = list(node.ints_attr("pads")) or [0] * (2 * spatial)
     auto_pad = node.str_attr("auto_pad", "NOTSET")
     if auto_pad in ("SAME_UPPER", "SAME_LOWER"):
         pads = []
         ends = []
         for i in range(spatial):
-            pb, pe = _same_pads(x.shape[2 + i], kernel[i], strides[i],
+            pb, pe = _same_pads(shape[2 + i], kernel[i], strides[i],
                                 dilations[i], auto_pad == "SAME_UPPER")
             pads.append(pb)
             ends.append(pe)
@@ -60,15 +66,34 @@ def _resolve_pads(node: Node, x: np.ndarray, kernel, strides, dilations):
     return pads
 
 
+def _resolve_pads(node: Node, x: np.ndarray, kernel, strides, dilations):
+    return _resolve_pads_for_shape(node, x.shape, kernel, strides, dilations)
+
+
 def _im2col(x: np.ndarray, kh: int, kw: int, sh: int, sw: int,
-            ph0: int, pw0: int, ph1: int, pw1: int, dh: int, dw: int) -> np.ndarray:
-    """(N, C, H, W) -> (N, C*kh*kw, outH*outW) patch matrix."""
+            ph0: int, pw0: int, ph1: int, pw1: int, dh: int, dw: int,
+            xp: Optional[np.ndarray] = None,
+            cols: Optional[np.ndarray] = None,
+            ) -> Tuple[np.ndarray, int, int]:
+    """(N, C, H, W) -> ``(cols, out_h, out_w)`` where ``cols`` is the
+    (N, C*kh*kw, outH*outW) patch matrix.
+
+    ``xp``/``cols`` optionally supply preallocated scratch buffers (an
+    execution plan's arena): ``xp`` must be a zero-initialized padded
+    buffer whose border is never written (padding is constant zero, so a
+    reused buffer stays correct), and ``cols`` a patch buffer of shape
+    (N, C, kh, kw, outH, outW) that is fully overwritten here.
+    """
     n, c, h, w = x.shape
-    xp = np.pad(x, ((0, 0), (0, 0), (ph0, ph1), (pw0, pw1)))
+    if xp is None:
+        xp = np.pad(x, ((0, 0), (0, 0), (ph0, ph1), (pw0, pw1)))
+    else:
+        xp[:, :, ph0:ph0 + h, pw0:pw0 + w] = x
     eff_kh, eff_kw = dh * (kh - 1) + 1, dw * (kw - 1) + 1
     out_h = (h + ph0 + ph1 - eff_kh) // sh + 1
     out_w = (w + pw0 + pw1 - eff_kw) // sw + 1
-    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    if cols is None:
+        cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
     for i in range(kh):
         hi = i * dh
         for j in range(kw):

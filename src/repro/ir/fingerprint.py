@@ -98,7 +98,17 @@ def _canonical_bytes(doc: Any) -> bytes:
 
 
 def graph_fingerprint(graph: Graph) -> str:
-    """Deterministic SHA-256 content hash of a graph (hex digest)."""
+    """Deterministic SHA-256 content hash of a graph (hex digest).
+
+    The digest is memoized on the graph and dropped by
+    :meth:`Graph.invalidate` alongside the topology caches, so repeated
+    lookups (the analysis-cache hot path) cost a dict read.  Mutating
+    initializer payloads in place does not invalidate — use the graph
+    mutation APIs, or call ``invalidate()`` by hand after such edits.
+    """
+    cached = graph._fingerprint_cache
+    if cached is not None:
+        return cached
     doc = {
         "version": FINGERPRINT_VERSION,
         "name": graph.name,
@@ -115,7 +125,9 @@ def graph_fingerprint(graph: Graph) -> str:
             for n in _canonical_order(graph)
         ],
     }
-    return hashlib.sha256(_canonical_bytes(doc)).hexdigest()
+    digest = hashlib.sha256(_canonical_bytes(doc)).hexdigest()
+    graph._fingerprint_cache = digest
+    return digest
 
 
 def report_digest(report: Any) -> str:

@@ -47,6 +47,7 @@ class Graph:
         self._topo_cache: Optional[List[Node]] = None
         self._producer_cache: Optional[Dict[str, Node]] = None
         self._consumer_cache: Optional[Dict[str, List[Node]]] = None
+        self._fingerprint_cache: Optional[str] = None
 
     # ------------------------------------------------------------------
     # construction / mutation
@@ -72,6 +73,7 @@ class Graph:
         self._topo_cache = None
         self._producer_cache = None
         self._consumer_cache = None
+        self._fingerprint_cache = None
 
     # ------------------------------------------------------------------
     # queries

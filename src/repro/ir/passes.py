@@ -31,7 +31,7 @@ from .shape_inference import infer_shapes
 from .tensor import DataType, Initializer, TensorInfo
 
 __all__ = ["fold_batchnorm", "eliminate_identities", "eliminate_dead_nodes",
-           "fold_constants", "optimize"]
+           "fold_constants", "fold_shape_constants", "optimize"]
 
 
 def _rename_consumers(graph: Graph, old: str, new: str) -> None:
@@ -188,6 +188,99 @@ def fold_constants(graph: Graph, in_place: bool = False,
             changed = True
             break
     infer_shapes(g)
+    return g
+
+
+def fold_shape_constants(graph: Graph, in_place: bool = False,
+                         max_elements: int = 1 << 20) -> Graph:
+    """Fold ``Shape`` nodes with statically known input shapes, then
+    collapse every downstream constant subgraph in one worklist sweep.
+
+    This is the plan-time companion of :func:`fold_constants`: because
+    the executor rejects feeds whose shape differs from the declared
+    input shape, a ``Shape`` node over a fully static tensor is a
+    compile-time constant — and once it folds, the shape-arithmetic
+    chains behind ``Reshape``/``Slice``/``Expand`` operands
+    (``Shape -> Gather -> Unsqueeze -> Concat``) fold with it.  Unlike
+    :func:`fold_constants`, which rescans the graph after every single
+    fold, this pass seeds a worklist with foldable nodes and pushes
+    consumers as their inputs become constant, so it is linear in graph
+    size.  Folding is value-preserving: each node is evaluated by the
+    same kernel the executor would have used at run time.
+    """
+    g = graph if in_place else graph.copy()
+    if not g.value_info:
+        infer_shapes(g)
+
+    def _const_inputs(node: Node) -> Optional[List[Optional[np.ndarray]]]:
+        if not node.inputs:
+            return None
+        vals: List[Optional[np.ndarray]] = []
+        for t in node.inputs:
+            if not t:
+                vals.append(None)
+                continue
+            init = g.initializers.get(t)
+            if init is None or init.is_virtual:
+                return None
+            vals.append(init.data)
+        return vals
+
+    doomed: List[Node] = []
+    doomed_ids: Set[int] = set()
+    worklist: List[Node] = []
+    for node in g.toposort():
+        if node.op_type == "Shape":
+            try:
+                shape = g.tensor(node.inputs[0]).shape
+            except KeyError:
+                continue
+            if all(isinstance(d, int) for d in shape):
+                worklist.append(node)
+        elif node.op_type not in _NO_FOLD and node.op_type in _EXEC \
+                and _const_inputs(node) is not None:
+            worklist.append(node)
+
+    consumers = g.consumer_map()
+    while worklist:
+        node = worklist.pop()
+        if id(node) in doomed_ids:
+            continue
+        if node.op_type == "Shape":
+            results = [np.asarray(g.tensor(node.inputs[0]).shape,
+                                  dtype=np.int64)]
+        else:
+            inits = _const_inputs(node)
+            if inits is None:
+                continue
+            try:
+                out_elems = sum(g.tensor(o).numel for o in node.outputs)
+            except (KeyError, TypeError):
+                continue
+            if out_elems > max_elements:
+                continue
+            try:
+                results = _EXEC[node.op_type](node, inits)
+            except Exception:
+                continue
+        for out_name, value in zip(node.outputs, results):
+            value = np.asarray(value)
+            g.add_initializer(Initializer(
+                TensorInfo(out_name, value.shape,
+                           DataType.from_numpy(value.dtype)),
+                value))
+            for consumer in consumers.get(out_name, []):
+                if id(consumer) in doomed_ids:
+                    continue
+                if consumer.op_type in _NO_FOLD \
+                        or consumer.op_type not in _EXEC:
+                    continue
+                worklist.append(consumer)
+        doomed.append(node)
+        doomed_ids.add(id(node))
+    if doomed:
+        g.remove_nodes(doomed)
+        infer_shapes(g)
     return g
 
 

@@ -25,9 +25,10 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 from urllib.parse import parse_qs, urlparse
 
+from ..analysis.cache import AnalysisCache
 from ..backends import backend_by_name
 from ..core.profiler import Profiler
 from ..core.report import MetricSource, ProfileReport
@@ -45,10 +46,19 @@ from .workers import WorkerPool
 __all__ = ["ProfilingService", "ProfilingServer", "default_runner"]
 
 
-def default_runner(request: ProfileRequest) -> ProfileReport:
-    """Profile a request with a fresh, thread-private Profiler."""
+def default_runner(request: ProfileRequest,
+                   analysis_cache: Union[AnalysisCache, bool, None] = True,
+                   ) -> ProfileReport:
+    """Profile a request with a fresh, thread-private Profiler.
+
+    Profiler state is per-call, but the (thread-safe) ``analysis_cache``
+    may be shared across calls so structurally identical requests skip
+    shape inference and AR/OAR construction even when they miss the
+    report cache (different precision/backend sweep points).
+    """
     profiler = Profiler(request.backend, request.platform,
-                        request.precision, request.metric_source)
+                        request.precision, request.metric_source,
+                        analysis_cache=analysis_cache)
     return profiler.profile(request.graph)
 
 
@@ -68,16 +78,24 @@ class ProfilingService:
         default_timeout: Optional[float] = None,
         runner=None,
         max_tracked_jobs: int = 4096,
+        analysis_cache: Optional[AnalysisCache] = None,
     ) -> None:
         self.metrics = MetricsRegistry()
         self.cache = ResultCache(max_bytes=cache_bytes,
                                  max_entries=cache_entries,
                                  disk_dir=cache_dir)
+        #: per-service structural memo shared by all worker threads;
+        #: sits below the report cache — see docs/PERF.md
+        self.analysis_cache = analysis_cache or AnalysisCache()
+        if runner is None:
+            runner = lambda request: default_runner(  # noqa: E731
+                request, analysis_cache=self.analysis_cache)
         self.queue = JobQueue(maxsize=queue_size)
-        self.pool = WorkerPool(runner or default_runner, queue=self.queue,
+        self.pool = WorkerPool(runner, queue=self.queue,
                                cache=self.cache, metrics=self.metrics,
                                num_workers=workers,
-                               backoff_seconds=backoff_seconds)
+                               backoff_seconds=backoff_seconds,
+                               analysis_cache=self.analysis_cache)
         self.default_max_retries = max_retries
         self.default_timeout = default_timeout
         self.metrics.gauge("queue.depth", lambda: self.queue.depth)
@@ -209,6 +227,7 @@ class ProfilingService:
         snap = self.metrics.snapshot()
         return {
             "cache": self.cache.stats().to_dict(),
+            "analysis_cache": self.analysis_cache.stats(),
             "queue": {"depth": self.queue.depth,
                       "capacity": self.queue.maxsize,
                       "inflight": self.pool.inflight_count},

@@ -25,6 +25,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Optional, Tuple, Type
 
+from ..analysis.cache import AnalysisCache
 from ..backends.base import UnsupportedModelError
 from .cache import ResultCache
 from .metrics import MetricsRegistry
@@ -51,6 +52,7 @@ class WorkerPool:
         backoff_seconds: float = 0.05,
         fatal_exceptions: Tuple[Type[BaseException], ...] =
             (UnsupportedModelError,),
+        analysis_cache: Optional[AnalysisCache] = None,
     ) -> None:
         if num_workers <= 0:
             raise ValueError("need at least one worker")
@@ -58,6 +60,16 @@ class WorkerPool:
         self._queue = queue
         self._cache = cache
         self.metrics = metrics or MetricsRegistry()
+        #: structural tier below the report cache — report-cache misses
+        #: that share a graph/backend/precision still skip re-analysis.
+        #: The pool itself only surfaces its metrics; the runner is what
+        #: consults it (see ``server.default_runner``).
+        self.analysis_cache = analysis_cache
+        if analysis_cache is not None:
+            for tier in AnalysisCache.TIERS:
+                self.metrics.gauge(
+                    f"analysis_cache.{tier}.hits",
+                    lambda t=tier: analysis_cache.hit_counts()[t])
         self.num_workers = num_workers
         self._backoff = backoff_seconds
         self._fatal = fatal_exceptions

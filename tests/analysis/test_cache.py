@@ -1,0 +1,178 @@
+"""AnalysisCache: tier behavior, digest-identity, eviction, sharing."""
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.cache import AnalysisCache, shared_analysis_cache
+from repro.core.profiler import Profiler, _graph_batch_size
+from repro.ir.builder import GraphBuilder
+from repro.ir.fingerprint import graph_fingerprint, report_digest
+from repro.ir.graph import Graph
+from repro.ir.serialization import from_json, to_json
+from repro.ir.tensor import DataType, TensorInfo
+from repro.models import shufflenet_v2
+
+
+def small_graph(image_size=32):
+    return shufflenet_v2(0.5, batch_size=1, image_size=image_size)
+
+
+class TestTiers:
+    def test_shapes_tier_shares_value_info_across_copies(self):
+        cache = AnalysisCache()
+        g1 = small_graph()
+        cache.ensure_shapes(g1)
+        # a structurally identical graph without value_info hits the tier
+        g2 = from_json(to_json(g1))
+        g2.value_info = {}
+        cache.ensure_shapes(g2)
+        assert cache.stats()["shapes"]["hits"] == 1
+        assert set(g2.value_info) == set(g1.value_info)
+
+    def test_arep_memoized_per_precision(self):
+        cache = AnalysisCache()
+        g = small_graph()
+        a1 = cache.arep(g, DataType.FLOAT16)
+        a2 = cache.arep(g, DataType.FLOAT16)
+        a3 = cache.arep(g, DataType.FLOAT32)
+        assert a1 is a2
+        assert a1 is not a3
+        assert cache.stats()["arep"] == {"hits": 1, "misses": 2}
+
+    def test_plan_memoized_per_seed(self):
+        cache = AnalysisCache()
+        g = small_graph()
+        assert cache.plan(g, seed=0) is cache.plan(g, seed=0)
+        assert cache.plan(g, seed=0) is not cache.plan(g, seed=1)
+
+    def test_get_or_build_rejects_unknown_tier(self):
+        with pytest.raises(KeyError):
+            AnalysisCache().get_or_build("nope", ("k",), lambda: 1)
+
+    def test_lru_eviction(self):
+        cache = AnalysisCache(max_entries=2)
+        for i in range(4):
+            cache.get_or_build("plan", (f"fp{i}",), lambda i=i: i)
+        assert len(cache) == 2
+        # oldest entries were evicted: rebuilding counts as a miss
+        assert cache.get_or_build("plan", ("fp0",), lambda: "rebuilt") \
+            == "rebuilt"
+
+    def test_clear_resets_entries_and_stats(self):
+        cache = AnalysisCache()
+        cache.arep(small_graph(), DataType.FLOAT16)
+        cache.clear()
+        assert len(cache) == 0
+        assert all(v == {"hits": 0, "misses": 0}
+                   for v in cache.stats().values())
+
+
+class TestProfilerIntegration:
+    def test_cached_reports_are_digest_identical(self):
+        g = small_graph()
+        cold = Profiler("trt-sim", "a100", analysis_cache=False).profile(g)
+        cache = AnalysisCache()
+        warm_profiler = Profiler("trt-sim", "a100", analysis_cache=cache)
+        warm1 = warm_profiler.profile(g)
+        warm2 = warm_profiler.profile(g)
+        assert report_digest(cold) == report_digest(warm1)
+        assert report_digest(cold) == report_digest(warm2)
+        assert cache.stats()["mapped"]["hits"] == 1
+
+    def test_measured_mode_does_not_corrupt_prototypes(self):
+        g = small_graph()
+        cache = AnalysisCache()
+        kw = dict(metric_source="measured", analysis_cache=cache)
+        m1 = Profiler("trt-sim", "a100", **kw).profile(g)
+        m2 = Profiler("trt-sim", "a100", **kw).profile(g)
+        cold = Profiler("trt-sim", "a100", metric_source="measured",
+                        analysis_cache=False).profile(g)
+        assert report_digest(m1) == report_digest(m2) == report_digest(cold)
+
+    def test_precision_sweep_shares_shapes_not_areps(self):
+        g = small_graph()
+        cache = AnalysisCache()
+        for precision in ("fp16", "fp32"):
+            Profiler("trt-sim", "a100", precision,
+                     analysis_cache=cache).profile(g)
+        stats = cache.stats()
+        assert stats["arep"]["misses"] == 2      # one AR per precision
+        assert stats["mapped"]["misses"] == 2
+
+    def test_true_resolves_to_shared_singleton(self):
+        p1 = Profiler("trt-sim", "a100", analysis_cache=True)
+        p2 = Profiler("trt-sim", "a100", analysis_cache=True)
+        assert p1.analysis_cache is p2.analysis_cache
+        assert p1.analysis_cache is shared_analysis_cache()
+
+    def test_disabled_cache_still_profiles(self):
+        g = small_graph()
+        report = Profiler("trt-sim", "a100",
+                          analysis_cache=None).profile(g)
+        assert report.layers
+
+    def test_concurrent_profilers_share_one_cache(self):
+        g = small_graph()
+        cache = AnalysisCache()
+        digests, errors = [], []
+
+        def work():
+            try:
+                p = Profiler("trt-sim", "a100", analysis_cache=cache)
+                digests.append(report_digest(p.profile(g)))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(set(digests)) == 1
+
+
+class TestFingerprintMemo:
+    def test_fingerprint_cached_and_invalidated(self):
+        g = small_graph()
+        fp = graph_fingerprint(g)
+        assert g._fingerprint_cache == fp
+        assert graph_fingerprint(g) == fp
+        g.invalidate()
+        assert g._fingerprint_cache is None
+        assert graph_fingerprint(g) == fp
+
+
+class _DuckInfo:
+    """Stand-in input info: TensorInfo coerces dims to non-negative
+    ints, but externally-loaded graphs may carry symbolic dims."""
+
+    def __init__(self, shape):
+        self.shape = shape
+
+
+class TestBatchSizeGuard:
+    def _graph_with_batch(self, dim):
+        g = Graph("g")
+        g.inputs = [_DuckInfo((dim, 3, 8, 8))]
+        return g
+
+    def test_int_batch_passes_through(self):
+        assert _graph_batch_size(self._graph_with_batch(16)) == 16
+
+    def test_symbolic_batch_defaults_to_one(self):
+        assert _graph_batch_size(self._graph_with_batch("N")) == 1
+
+    def test_degenerate_shapes_default_to_one(self):
+        assert _graph_batch_size(Graph("empty")) == 1
+        assert _graph_batch_size(self._graph_with_batch(0)) == 1
+        assert _graph_batch_size(self._graph_with_batch(-3)) == 1
+        assert _graph_batch_size(self._graph_with_batch(True)) == 1
+
+    def test_report_batch_size_stays_numeric(self):
+        g = small_graph()
+        report = Profiler("trt-sim", "a100",
+                          analysis_cache=False).profile(g)
+        assert isinstance(report.batch_size, int)
+        assert isinstance(report.end_to_end.batch_size, int)

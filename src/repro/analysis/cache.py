@@ -47,6 +47,7 @@ from ..ir.fingerprint import graph_fingerprint
 from ..ir.graph import Graph
 from ..ir.plan import ExecutionPlan
 from ..ir.shape_inference import infer_shapes
+from ..obs.metrics import MetricsRegistry, default_registry
 from .arep import AnalyzeRepresentation
 from .oarep import OptimizedAnalyzeRepresentation
 
@@ -71,12 +72,22 @@ class AnalysisCache:
 
     TIERS = ("shapes", "arep", "mapped", "plan")
 
-    def __init__(self, max_entries: int = 128) -> None:
+    def __init__(self, max_entries: int = 128,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.max_entries = max_entries
         self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
         self._lock = threading.RLock()
         self._hits = {t: 0 for t in self.TIERS}
         self._misses = {t: 0 for t in self.TIERS}
+        # library-level telemetry (repro.obs): per-tier hit/miss
+        # counters, resolved once so the hot path pays one Counter.inc
+        registry = metrics if metrics is not None else default_registry()
+        self._hit_counters = {
+            t: registry.counter(f"analysis_cache.{t}.hits")
+            for t in self.TIERS}
+        self._miss_counters = {
+            t: registry.counter(f"analysis_cache.{t}.misses")
+            for t in self.TIERS}
 
     # ------------------------------------------------------------------
     # plumbing
@@ -87,8 +98,10 @@ class AnalysisCache:
             if full in self._entries:
                 self._entries.move_to_end(full)
                 self._hits[tier] += 1
+                self._hit_counters[tier].inc()
                 return True, self._entries[full]
             self._misses[tier] += 1
+            self._miss_counters[tier].inc()
             return False, None
 
     def _put(self, tier: str, key: Tuple, value: Any) -> Any:

@@ -29,6 +29,7 @@ from ..hardware.latency import LatencySimulator, WorkItem
 from ..hardware.specs import HardwareSpec
 from ..ir.graph import Graph
 from ..ir.tensor import DataType, TensorInfo
+from ..obs.trace import get_tracer
 
 __all__ = [
     "BackendLayer", "BackendModel", "Backend", "BackendError",
@@ -172,6 +173,13 @@ class Backend(abc.ABC):
                      truth: OptimizedAnalyzeRepresentation) -> None:
         """Fill ``latency_seconds`` on every layer from the ground-truth
         fusion plan via the hardware latency simulator."""
+        with get_tracer().span("time_layers", backend=model.backend_name,
+                               layers=len(model.layers)):
+            self._time_layers_inner(model, arep, truth)
+
+    def _time_layers_inner(self, model: BackendModel,
+                           arep: AnalyzeRepresentation,
+                           truth: OptimizedAnalyzeRepresentation) -> None:
         sim = LatencySimulator(model.spec)
         units_by_first_member: Dict[str, object] = {}
         for unit in truth.units:

@@ -30,6 +30,7 @@ from ..analysis.oarep import (FusedOp, MappingError,
 from ..analysis.opdefs import OpClass, OpCost
 from ..ir.node import Node
 from ..ir.tensor import DataType, TensorInfo
+from ..obs.trace import get_tracer
 from .base import BackendLayer, BackendModel
 
 __all__ = ["ReformatUnit", "MappedLayer", "LayerMapper", "map_layers",
@@ -226,4 +227,8 @@ def mapper_for(backend_name: str) -> LayerMapper:
 def map_layers(model: BackendModel,
                oar: OptimizedAnalyzeRepresentation) -> List[MappedLayer]:
     """Map every backend layer of a compiled model onto analysis units."""
-    return mapper_for(model.backend_name).map(model, oar)
+    with get_tracer().span("map_layers", backend=model.backend_name,
+                           backend_layers=len(model.layers)) as span:
+        mapped = mapper_for(model.backend_name).map(model, oar)
+        span.set("mapped_layers", len(mapped))
+        return mapped

@@ -20,12 +20,27 @@ from ..backends import BACKENDS, UnsupportedModelError, backend_by_name
 from ..hardware.specs import PLATFORMS, platform
 from ..ir.tensor import DataType
 from ..models.registry import MODEL_ZOO, build_model
+from ..obs import (Tracer, configure_logging, format_span_tree, set_tracer,
+                   write_chrome_trace)
 from .dataviewer import format_report, render_roofline_svg
 from .profiler import Profiler
 from .peaktest import measure_peaks
 from .report import MetricSource
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_obs_args(sub: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the profiling subcommands."""
+    sub.add_argument("--trace", metavar="PATH",
+                     help="write a Chrome-trace JSON of this run's "
+                          "pipeline spans (open in Perfetto / "
+                          "about://tracing)")
+    sub.add_argument("--trace-summary", action="store_true",
+                     help="with --trace: also print the span tree")
+    sub.add_argument("--log-level", default=None,
+                     choices=["debug", "info", "warning", "error"],
+                     help="enable repro.* logging at this level")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="append automated optimization guidance")
     run.add_argument("--by-module", type=int, metavar="DEPTH", default=0,
                      help="append a module-level rollup at this depth")
+    _add_obs_args(run)
 
     peak = sub.add_parser("peak", help="measure achieved roofline peaks")
     peak.add_argument("--platform", default="a100", choices=sorted(PLATFORMS))
@@ -66,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="override the compute clock (MHz, Jetson-style)")
     peak.add_argument("--mem-clock", type=float, default=None,
                       help="override the memory clock (MHz)")
+    _add_obs_args(peak)
 
     swp = sub.add_parser("sweep", help="batch-size sweep for a model")
     swp.add_argument("--model", required=True, choices=sorted(MODEL_ZOO))
@@ -75,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["fp32", "fp16", "int8"])
     swp.add_argument("--batches", default="1,4,16,64,256",
                      help="comma-separated batch sizes")
+    _add_obs_args(swp)
 
     srv = sub.add_parser("serve",
                          help="run the profiling service (HTTP JSON API)")
@@ -106,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     bat.add_argument("--repeat", type=int, default=1,
                      help="submit the list this many times "
                           "(repeats exercise the result cache)")
+    _add_obs_args(bat)
 
     sub.add_parser("list", help="list models, platforms and backends")
     return parser
@@ -216,9 +235,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
+    from ..obs import get_tracer
     from ..service import JobStatus, ProfilingService
     failed = 0
-    with ProfilingService(workers=args.workers) as service:
+    # under --trace the service records into the CLI tracer, so job
+    # spans and the profiler spans they spawn land in the same file
+    cli_tracer = get_tracer()
+    with ProfilingService(
+            workers=args.workers,
+            tracer=cli_tracer if cli_tracer.enabled else None) as service:
         def submit_one(model: str):
             return service.submit(
                 model, batch_size=args.batch, backend=args.backend,
@@ -280,7 +305,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"run": _cmd_run, "peak": _cmd_peak, "list": _cmd_list,
                 "sweep": _cmd_sweep, "serve": _cmd_serve,
                 "batch": _cmd_batch}
-    return handlers[args.command](args)
+    if getattr(args, "log_level", None):
+        configure_logging(args.log_level)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return handlers[args.command](args)
+    tracer = Tracer(plan_ops=True)
+    set_tracer(tracer)
+    try:
+        return handlers[args.command](args)
+    finally:
+        set_tracer(None)
+        count = write_chrome_trace(trace_path, tracer)
+        print(f"trace: {count} events written to {trace_path} "
+              f"(load in Perfetto / chrome://tracing)")
+        if getattr(args, "trace_summary", False):
+            print()
+            print(format_span_tree(tracer))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,8 +20,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .report import LayerProfile, ProfileReport
 from .roofline import Roofline, RooflinePoint
 
-__all__ = ["format_report", "format_layer_table", "render_roofline_svg",
-           "latency_histogram", "CLASS_COLORS"]
+__all__ = ["format_report", "format_layer_table", "format_stage_table",
+           "render_roofline_svg", "latency_histogram", "CLASS_COLORS"]
 
 #: op-class → chart color, matching the paper's conventions where it has
 #: them (depthwise conv blue/orange, pointwise/matmul green, conv red,
@@ -74,6 +74,19 @@ def format_layer_table(report: ProfileReport, top: Optional[int] = None) -> str:
     return "\n".join(lines)
 
 
+def format_stage_table(stage_seconds: Dict[str, float]) -> str:
+    """PRoof's own pipeline stage times (populated under ``--trace``)."""
+    total = sum(stage_seconds.values())
+    lines = [f"{'stage':16s} {'ms':>10s} {'%':>6s}",
+             "-" * 34]
+    for name, seconds in sorted(stage_seconds.items(),
+                                key=lambda kv: -kv[1]):
+        share = seconds / total * 100 if total > 0 else 0.0
+        lines.append(f"{name:16s} {seconds * 1e3:10.3f} {share:6.1f}")
+    lines.append(f"{'total':16s} {total * 1e3:10.3f} {100.0:6.1f}")
+    return "\n".join(lines)
+
+
 def format_report(report: ProfileReport, top: Optional[int] = 20) -> str:
     """Full text report: header, end-to-end summary, layer table."""
     e = report.end_to_end
@@ -101,6 +114,9 @@ def format_report(report: ProfileReport, top: Optional[int] = 20) -> str:
                     key=lambda kv: -kv[1])
     head.append("latency share: " + ", ".join(
         f"{k} {v * 100:.1f}%" for k, v in shares))
+    if report.stage_seconds:
+        head.append("profiler stage times (this PRoof run, not the model):")
+        head.append(format_stage_table(report.stage_seconds))
     head.append("")
     head.append(format_layer_table(report, top))
     return "\n".join(head)

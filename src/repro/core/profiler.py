@@ -17,7 +17,10 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Union
+import logging
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional, Union
 
 from ..analysis.arep import AnalyzedOp, AnalyzeRepresentation
 from ..analysis.cache import AnalysisCache, MappedEntry, shared_analysis_cache
@@ -31,10 +34,28 @@ from ..hardware.specs import HardwareSpec, platform
 from ..ir.graph import Graph
 from ..ir.shape_inference import infer_shapes
 from ..ir.tensor import DataType
+from ..obs.trace import get_tracer
 from .report import EndToEnd, LayerProfile, MetricSource, ProfileReport
 from .roofline import Roofline, RooflinePoint, roofline_for
 
 __all__ = ["Profiler", "profile_model"]
+
+log = logging.getLogger(__name__)
+
+
+@contextmanager
+def _stage(tracer, stages: Optional[Dict[str, float]], name: str,
+           **attributes):
+    """Span + accumulated wall time for one pipeline stage.
+
+    ``stages`` is None when tracing is off, and then no time is
+    recorded — reports must stay bit-identical to the untraced path.
+    """
+    t0 = time.perf_counter()
+    with tracer.span(name, **attributes) as span:
+        yield span
+    if stages is not None:
+        stages[name] = stages.get(name, 0.0) + time.perf_counter() - t0
 
 
 def _graph_batch_size(graph: Graph) -> int:
@@ -64,6 +85,7 @@ class Profiler:
         metric_source: str = MetricSource.PREDICTED,
         counter_profiler: Optional[CounterProfiler] = None,
         analysis_cache: Union[AnalysisCache, bool, None] = True,
+        tracer=None,
     ) -> None:
         self.backend = backend_by_name(backend) if isinstance(backend, str) \
             else backend
@@ -84,61 +106,125 @@ class Profiler:
             self.analysis_cache = None
         else:
             self.analysis_cache = analysis_cache
+        #: pinned tracer for embedding (the service worker pool); None
+        #: resolves the process-wide tracer at each profile() call, so
+        #: ``proof run --trace`` reaches already-constructed profilers
+        self.tracer = tracer
+
+    def _tracer(self):
+        return self.tracer if self.tracer is not None else get_tracer()
 
     # ------------------------------------------------------------------
     def _spec_key(self) -> str:
         return repr([(f.name, repr(getattr(self.spec, f.name)))
                      for f in dataclasses.fields(self.spec)])
 
-    def _mapped_entry(self, graph: Graph) -> MappedEntry:
+    def _mapped_entry(self, graph: Graph, tracer=None,
+                      stages: Optional[Dict[str, float]] = None
+                      ) -> MappedEntry:
         """Structural phase: compile, AR, OAR, layer mapping — memoized."""
+        tracer = tracer or self._tracer()
+
+        built = []
 
         def build(arep: AnalyzeRepresentation) -> MappedEntry:
-            compiled = self.backend.compile(graph, self.spec, self.precision)
-            oar = OptimizedAnalyzeRepresentation(arep)
-            mapped = map_layers(compiled, oar)
+            built.append(True)
+            with _stage(tracer, stages, "compile",
+                        backend=self.backend.name):
+                compiled = self.backend.compile(graph, self.spec,
+                                                self.precision)
+            with _stage(tracer, stages, "oar"):
+                oar = OptimizedAnalyzeRepresentation(arep)
+            with _stage(tracer, stages, "mapping",
+                        backend_layers=len(compiled.layers)):
+                mapped = map_layers(compiled, oar)
             return MappedEntry(compiled=compiled, arep=arep, oar=oar,
                                mapped=mapped)
 
         cache = self.analysis_cache
         if cache is None:
-            if not graph.value_info:
-                infer_shapes(graph)
-            compiled = self.backend.compile(graph, self.spec, self.precision)
-            arep = AnalyzeRepresentation(graph, self.precision)
-            oar = OptimizedAnalyzeRepresentation(arep)
-            mapped = map_layers(compiled, oar)
+            with _stage(tracer, stages, "shape_inference"):
+                if not graph.value_info:
+                    infer_shapes(graph)
+            with _stage(tracer, stages, "compile",
+                        backend=self.backend.name):
+                compiled = self.backend.compile(graph, self.spec,
+                                                self.precision)
+            with _stage(tracer, stages, "arep"):
+                arep = AnalyzeRepresentation(graph, self.precision)
+            with _stage(tracer, stages, "oar"):
+                oar = OptimizedAnalyzeRepresentation(arep)
+            with _stage(tracer, stages, "mapping",
+                        backend_layers=len(compiled.layers)):
+                mapped = map_layers(compiled, oar)
             return MappedEntry(compiled=compiled, arep=arep, oar=oar,
                                mapped=mapped)
-        return cache.mapped_entry(graph, self.backend.name, self._spec_key(),
-                                  self.precision, build)
+        # fetch (or build) the AR under its own span, then the mapped
+        # tier; the arep tier is memoized, so this adds one lookup, not
+        # a second construction
+        with _stage(tracer, stages, "arep"):
+            cache.arep(graph, self.precision)
+        with tracer.span("mapped_entry") as span:
+            entry = cache.mapped_entry(graph, self.backend.name,
+                                       self._spec_key(), self.precision,
+                                       build)
+            span.set("cache_hit", not built)
+        return entry
 
     def profile(self, graph: Graph) -> ProfileReport:
         """Run the full workflow on a model graph."""
-        entry = self._mapped_entry(graph)
+        tracer = self._tracer()
+        stages: Optional[Dict[str, float]] = {} if tracer.enabled else None
+        t0 = time.perf_counter()
+        with tracer.span("profile", model=graph.name,
+                         backend=self.backend.name,
+                         platform=self.spec.name,
+                         precision=self.precision.value,
+                         metric_source=self.metric_source):
+            report = self._profile(graph, tracer, stages)
+        if stages is not None:
+            report.stage_seconds = dict(stages)
+            log.debug("profiled %s on %s/%s in %.1f ms (stages: %s)",
+                      graph.name, self.backend.name, self.spec.name,
+                      (time.perf_counter() - t0) * 1e3,
+                      ", ".join(f"{k}={v * 1e3:.2f}ms"
+                                for k, v in stages.items()))
+        return report
+
+    def _profile(self, graph: Graph, tracer,
+                 stages: Optional[Dict[str, float]]) -> ProfileReport:
+        entry = self._mapped_entry(graph, tracer, stages)
         compiled, arep, mapped = entry.compiled, entry.arep, entry.mapped
-        protos = entry.memo.get("layer_profiles")
-        if protos is None:
-            protos = [self._layer_profile(m, arep) for m in mapped]
-            entry.memo["layer_profiles"] = protos
-        # MEASURED mode mutates scalar fields in place, so hand out copies
-        layers = [dataclasses.replace(lp, model_layers=list(lp.model_layers),
-                                      folded_layers=list(lp.folded_layers))
-                  for lp in protos]
+        with _stage(tracer, stages, "layer_profiles",
+                    layers=len(mapped)) as span:
+            protos = entry.memo.get("layer_profiles")
+            span.set("memo_hit", protos is not None)
+            if protos is None:
+                protos = [self._layer_profile(m, arep) for m in mapped]
+                entry.memo["layer_profiles"] = protos
+            # MEASURED mode mutates scalar fields in place, so hand out
+            # copies
+            layers = [dataclasses.replace(
+                lp, model_layers=list(lp.model_layers),
+                folded_layers=list(lp.folded_layers)) for lp in protos]
         overhead = 0.0
         if self.metric_source == MetricSource.MEASURED:
-            measurements = self._measurements(mapped, arep)
-            for lp, meas in zip(layers, measurements):
-                if meas is not None:
-                    lp.flop = meas.hardware_flop
-                    total = lp.read_bytes + lp.write_bytes
-                    ratio = meas.memory_bytes / total if total > 0 else 0.0
-                    lp.read_bytes *= ratio
-                    lp.write_bytes *= ratio
-            overhead = self.counters.profiling_seconds(
-                [m for m in measurements if m is not None],
-                [lp.latency_seconds for lp, m in zip(layers, measurements)
-                 if m is not None])
+            with _stage(tracer, stages, "measured_replay",
+                        layers=len(mapped)):
+                measurements = self._measurements(mapped, arep)
+                for lp, meas in zip(layers, measurements):
+                    if meas is not None:
+                        lp.flop = meas.hardware_flop
+                        total = lp.read_bytes + lp.write_bytes
+                        ratio = meas.memory_bytes / total if total > 0 \
+                            else 0.0
+                        lp.read_bytes *= ratio
+                        lp.write_bytes *= ratio
+                overhead = self.counters.profiling_seconds(
+                    [m for m in measurements if m is not None],
+                    [lp.latency_seconds
+                     for lp, m in zip(layers, measurements)
+                     if m is not None])
         batch = _graph_batch_size(graph)
         e2e = EndToEnd(
             latency_seconds=sum(l.latency_seconds for l in layers),
@@ -146,7 +232,8 @@ class Profiler:
             memory_bytes=sum(l.memory_bytes for l in layers),
             batch_size=batch,
         )
-        roof = self.roofline()
+        with _stage(tracer, stages, "roofline"):
+            roof = self.roofline()
         return ProfileReport(
             model_name=graph.name,
             backend_name=compiled.backend_name,

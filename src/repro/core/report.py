@@ -105,6 +105,12 @@ class ProfileReport:
     #: profiling wall-clock cost (counter replays in measured mode;
     #: effectively zero in predicted mode)
     profiling_overhead_seconds: float = 0.0
+    #: wall time of PRoof's own pipeline stages (compile, arep, oar,
+    #: mapping, …), populated only when profiling ran under an enabled
+    #: :class:`repro.obs.Tracer` — empty otherwise, and then omitted
+    #: from the serialized document so untraced reports stay
+    #: bit-identical to pre-observability ones
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def execution_layers(self) -> List[LayerProfile]:
@@ -141,6 +147,8 @@ class ProfileReport:
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
         doc = asdict(self)
+        if not doc.get("stage_seconds"):
+            doc.pop("stage_seconds", None)
         doc["derived"] = {
             "achieved_gflops": self.end_to_end.achieved_flops / 1e9,
             "achieved_bandwidth_gbs": self.end_to_end.achieved_bandwidth / 1e9,
@@ -177,6 +185,7 @@ class ProfileReport:
             peak_bandwidth=doc["peak_bandwidth"],
             profiling_overhead_seconds=doc.get(
                 "profiling_overhead_seconds", 0.0),
+            stage_seconds=dict(doc.get("stage_seconds") or {}),
         )
 
     @classmethod

@@ -136,8 +136,12 @@ def report_digest(report: Any) -> str:
     Accepts anything exposing ``to_dict()`` (a
     :class:`~repro.core.report.ProfileReport` in practice).  Derived
     convenience figures are excluded — they are recomputed, not stored,
-    when a report round-trips through JSON.
+    when a report round-trips through JSON.  ``stage_seconds`` (profiler
+    wall-clock telemetry, present only when tracing is on) is likewise
+    excluded: two runs over the same model must digest identically no
+    matter how long the profiler itself took.
     """
     doc = report.to_dict()
     doc.pop("derived", None)
+    doc.pop("stage_seconds", None)
     return hashlib.sha256(_canonical_bytes(doc)).hexdigest()

@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..obs.trace import get_tracer
 from .executor import (ExecutionError, _EXEC, _im2col,
                        _resolve_pads_for_shape)
 from .graph import Graph
@@ -84,6 +85,7 @@ class ExecutionPlan:
         self._weights: Optional[Dict[str, np.ndarray]] = None
         self._scratch: Dict[object, np.ndarray] = {}
         self._lock = threading.Lock()
+        self._run_count = 0
         self._protected = set(work.output_names)
         self._steps = self._compile_steps()
         self._plan_liveness()
@@ -289,11 +291,25 @@ class ExecutionPlan:
     # ------------------------------------------------------------------
     def run(self, feeds: Dict[str, np.ndarray],
             fetch: Optional[Sequence[str]] = None) -> Dict[str, np.ndarray]:
-        """Execute the plan; same contract as :meth:`Executor.run`."""
-        with self._lock:
-            return self._run(feeds, fetch)
+        """Execute the plan; same contract as :meth:`Executor.run`.
 
-    def _run(self, feeds, fetch):
+        Per-op spans are opt-in and sampled: the current tracer must be
+        enabled with ``plan_ops=True``, and only every
+        ``plan_op_sample``-th run of this plan is traced — replay loops
+        would otherwise drown the trace.  Untraced runs pay one tracer
+        lookup, nothing per step.
+        """
+        tracer = get_tracer()
+        with self._lock:
+            self._run_count += 1
+            if not (tracer.enabled and tracer.plan_ops
+                    and (self._run_count - 1) % tracer.plan_op_sample == 0):
+                return self._run(feeds, fetch)
+            with tracer.span("plan.run", graph=self.graph.name,
+                             steps=self.num_steps, run=self._run_count):
+                return self._run(feeds, fetch, tracer)
+
+    def _run(self, feeds, fetch, tracer=None):
         env: Dict[str, np.ndarray] = {}
         for t in self.graph.inputs:
             if t.name not in feeds:
@@ -316,7 +332,16 @@ class ExecutionPlan:
             else set()
         for step in self._steps:
             try:
-                outs = step.run(env)
+                if tracer is None:
+                    outs = step.run(env)
+                else:
+                    # op-type tag + model-layer name: the plan executes
+                    # model-level nodes, so these spans are the model
+                    # side of the layer-mapping timeline
+                    with tracer.span(f"op.{step.node.op_type}",
+                                     op=step.node.name or "",
+                                     op_type=step.node.op_type):
+                        outs = step.run(env)
             except ExecutionError:
                 raise
             except Exception as exc:

@@ -1,0 +1,124 @@
+"""Trace exporters: Chrome ``trace_events`` JSON, JSONL, text trees.
+
+The Chrome/Perfetto format is the *JSON Array Format* — a flat array of
+events with ``ph``/``ts``/``dur``/``name`` fields — so the output of
+``proof run --trace out.json`` loads directly in ``about://tracing`` or
+https://ui.perfetto.dev.  Span timestamps are microseconds relative to
+the tracer's epoch, which is what the format expects.
+"""
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from .trace import Span, Tracer
+
+__all__ = ["chrome_trace_events", "write_chrome_trace", "write_jsonl",
+           "format_span_tree"]
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _spans_of(source: Union[Tracer, Iterable[Span]]) -> List[Span]:
+    if hasattr(source, "spans"):
+        return source.spans()  # type: ignore[union-attr]
+    return list(source)  # type: ignore[arg-type]
+
+
+def chrome_trace_events(source: Union[Tracer, Iterable[Span]],
+                        pid: Optional[int] = None) -> List[Dict[str, Any]]:
+    """Spans → Chrome trace-event dicts (complete ``X`` + instant ``i``).
+
+    Thread-name metadata events (``ph: "M"``) ride along so Perfetto
+    labels worker threads; every event carries ``ph``/``ts``/``name``
+    and complete events carry ``dur``.
+    """
+    spans = sorted(_spans_of(source), key=lambda s: s.start_us)
+    pid = os.getpid() if pid is None else pid
+    events: List[Dict[str, Any]] = []
+    thread_names: Dict[int, str] = {}
+    for span in spans:
+        args = {k: _jsonable(v) for k, v in span.attributes.items()}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.trace_id is not None:
+            args["trace_id"] = _jsonable(span.trace_id)
+        base: Dict[str, Any] = {
+            "name": span.name,
+            "cat": "proof",
+            "pid": pid,
+            "tid": span.thread_id,
+            "ts": round(span.start_us, 3),
+            "args": args,
+        }
+        if span.kind == "event":
+            events.append({**base, "ph": "i", "s": "t"})
+        else:
+            events.append({**base, "ph": "X",
+                           "dur": round(span.duration_us or 0.0, 3)})
+        thread_names.setdefault(span.thread_id, span.thread_name)
+    for tid, name in sorted(thread_names.items()):
+        events.append({"name": "thread_name", "ph": "M", "ts": 0.0,
+                       "pid": pid, "tid": tid, "args": {"name": name}})
+    return events
+
+
+def write_chrome_trace(path: str,
+                       source: Union[Tracer, Iterable[Span]]) -> int:
+    """Write a Chrome-trace JSON array; returns the event count."""
+    events = chrome_trace_events(source)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(events, fh)
+    return len(events)
+
+
+def write_jsonl(path: str, source: Union[Tracer, Iterable[Span]]) -> int:
+    """One structured JSON object per span, in finish order."""
+    spans = _spans_of(source)
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span.to_dict()) + "\n")
+    return len(spans)
+
+
+def format_span_tree(source: Union[Tracer, Iterable[Span]],
+                     attrs: bool = True) -> str:
+    """Plain-text hierarchical summary of a span forest.
+
+    Children indent under their parent; each line shows the span's wall
+    time, its share of the root's, and (optionally) its attributes.
+    Orphans — spans whose parent fell out of a bounded ring buffer —
+    render as roots.
+    """
+    spans = sorted(_spans_of(source), key=lambda s: s.start_us)
+    by_id = {s.span_id: s for s in spans}
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+    lines: List[str] = []
+
+    def emit(span: Span, depth: int, root_us: float) -> None:
+        dur = span.duration_us or 0.0
+        share = f" {dur / root_us * 100:5.1f}%" if root_us > 0 and depth \
+            else ""
+        flag = " !" if span.error else ""
+        extra = ""
+        if attrs and span.attributes:
+            extra = "  [" + ", ".join(
+                f"{k}={_jsonable(v)}"
+                for k, v in sorted(span.attributes.items())) + "]"
+        lines.append(f"{'  ' * depth}{span.name:<{max(1, 40 - 2 * depth)}s} "
+                     f"{dur / 1e3:10.3f} ms{share}{flag}{extra}")
+        for child in children.get(span.span_id, []):
+            emit(child, depth + 1, root_us if depth else dur or root_us)
+
+    for root in children.get(None, []):
+        emit(root, 0, root.duration_us or 0.0)
+    return "\n".join(lines)

@@ -8,7 +8,7 @@ service metrics, and an ``http.server`` JSON API.
 """
 from .cache import CacheStats, ResultCache
 from .fingerprint import CACHE_KEY_VERSION, ProfileRequest, request_fingerprint
-from .metrics import Counter, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .queue import (Job, JobCancelledError, JobFailedError, JobQueue,
                     JobStatus, JobTimeoutError, QueueFullError)
 from .workers import WorkerPool
@@ -17,7 +17,7 @@ from .server import ProfilingServer, ProfilingService, default_runner
 __all__ = [
     "CacheStats", "ResultCache",
     "CACHE_KEY_VERSION", "ProfileRequest", "request_fingerprint",
-    "Counter", "Histogram", "MetricsRegistry",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "Job", "JobCancelledError", "JobFailedError", "JobQueue", "JobStatus",
     "JobTimeoutError", "QueueFullError",
     "WorkerPool",

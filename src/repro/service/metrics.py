@@ -1,140 +1,13 @@
-"""Service metrics: counters, histograms and sampled gauges.
+"""Back-compat shim: service metrics moved to :mod:`repro.obs.metrics`.
 
-Everything the profiling service observes about itself — queue depth,
-queue wait, service time, cache hit ratio, retries — flows through one
-:class:`MetricsRegistry`.  The registry renders both a JSON snapshot
-(the ``/stats`` endpoint) and a flat Prometheus-style text dump, and is
-safe to update from any worker thread.
+The service's counters/histograms/gauges were promoted into the
+library-wide observability layer so non-service code (the analysis
+cache, the profiler) can record metrics without importing the service.
+Import from :mod:`repro.obs.metrics` in new code; this module keeps the
+old import path working.
 """
-from __future__ import annotations
+from ..obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                           PROMETHEUS_CONTENT_TYPE, default_registry)
 
-import threading
-from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional
-
-__all__ = ["Counter", "Histogram", "MetricsRegistry"]
-
-
-class Counter:
-    """A monotonically increasing counter."""
-
-    __slots__ = ("name", "_value", "_lock")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def inc(self, n: int = 1) -> None:
-        if n < 0:
-            raise ValueError("counters only go up")
-        with self._lock:
-            self._value += n
-
-    @property
-    def value(self) -> int:
-        with self._lock:
-            return self._value
-
-
-class Histogram:
-    """Running count/sum plus a bounded reservoir of recent samples.
-
-    Exact percentiles over the full stream are not needed for a serving
-    dashboard; the reservoir keeps the last ``window`` observations and
-    the percentiles describe recent behaviour.
-    """
-
-    __slots__ = ("name", "_count", "_sum", "_max", "_samples", "_lock")
-
-    def __init__(self, name: str, window: int = 1024) -> None:
-        self.name = name
-        self._count = 0
-        self._sum = 0.0
-        self._max = 0.0
-        self._samples: Deque[float] = deque(maxlen=window)
-        self._lock = threading.Lock()
-
-    def observe(self, value: float) -> None:
-        with self._lock:
-            self._count += 1
-            self._sum += value
-            self._max = max(self._max, value)
-            self._samples.append(value)
-
-    def _percentile(self, ordered: List[float], p: float) -> float:
-        if not ordered:
-            return 0.0
-        idx = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
-        return ordered[idx]
-
-    def summary(self) -> Dict[str, float]:
-        with self._lock:
-            ordered = sorted(self._samples)
-            count, total, peak = self._count, self._sum, self._max
-        return {
-            "count": count,
-            "sum": total,
-            "mean": total / count if count else 0.0,
-            "p50": self._percentile(ordered, 50.0),
-            "p95": self._percentile(ordered, 95.0),
-            "max": peak,
-        }
-
-
-class MetricsRegistry:
-    """Named counters/histograms plus callback gauges, get-or-create."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: Dict[str, Counter] = {}
-        self._histograms: Dict[str, Histogram] = {}
-        self._gauges: Dict[str, Callable[[], float]] = {}
-
-    def counter(self, name: str) -> Counter:
-        with self._lock:
-            if name not in self._counters:
-                self._counters[name] = Counter(name)
-            return self._counters[name]
-
-    def histogram(self, name: str, window: int = 1024) -> Histogram:
-        with self._lock:
-            if name not in self._histograms:
-                self._histograms[name] = Histogram(name, window)
-            return self._histograms[name]
-
-    def gauge(self, name: str, fn: Callable[[], float]) -> None:
-        """Register a gauge sampled lazily at snapshot time."""
-        with self._lock:
-            self._gauges[name] = fn
-
-    # ------------------------------------------------------------------
-    def snapshot(self) -> Dict[str, Any]:
-        with self._lock:
-            counters = dict(self._counters)
-            histograms = dict(self._histograms)
-            gauges = dict(self._gauges)
-        return {
-            "counters": {n: c.value for n, c in sorted(counters.items())},
-            "histograms": {n: h.summary()
-                           for n, h in sorted(histograms.items())},
-            "gauges": {n: fn() for n, fn in sorted(gauges.items())},
-        }
-
-    def render_text(self) -> str:
-        """Flat ``name value`` lines (Prometheus exposition style)."""
-        snap = self.snapshot()
-        lines: List[str] = []
-        for name, value in snap["counters"].items():
-            lines.append(f"{_flat(name)}_total {value}")
-        for name, value in snap["gauges"].items():
-            lines.append(f"{_flat(name)} {value}")
-        for name, summary in snap["histograms"].items():
-            base = _flat(name)
-            for stat in ("count", "sum", "mean", "p50", "p95", "max"):
-                lines.append(f"{base}_{stat} {summary[stat]}")
-        return "\n".join(lines)
-
-
-def _flat(name: str) -> str:
-    return name.replace(".", "_").replace("-", "_")
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "PROMETHEUS_CONTENT_TYPE", "default_registry"]

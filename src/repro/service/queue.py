@@ -20,6 +20,8 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.trace import get_tracer
+
 __all__ = ["Job", "JobStatus", "JobQueue", "QueueFullError",
            "JobFailedError", "JobCancelledError", "JobTimeoutError"]
 
@@ -172,14 +174,19 @@ class Job:
 class JobQueue:
     """Bounded, thread-safe max-priority queue of pending jobs."""
 
-    def __init__(self, maxsize: int = 256) -> None:
+    def __init__(self, maxsize: int = 256, tracer=None) -> None:
         if maxsize <= 0:
             raise ValueError("queue size must be positive")
         self.maxsize = maxsize
+        #: pinned tracer (the owning service's); None uses the global one
+        self.tracer = tracer
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._seq = itertools.count()
         self._heap: List[Tuple[int, int, Job]] = []
+
+    def _tracer(self):
+        return self.tracer if self.tracer is not None else get_tracer()
 
     @property
     def depth(self) -> int:
@@ -192,7 +199,12 @@ class JobQueue:
                 raise QueueFullError(
                     f"job queue full ({self.maxsize} pending)")
             heapq.heappush(self._heap, (-job.priority, next(self._seq), job))
+            depth = len(self._heap)
             self._not_empty.notify()
+        tracer = self._tracer()
+        if tracer.enabled:
+            tracer.event("queue.put", trace_id=job.id,
+                         priority=job.priority, depth=depth)
 
     def get(self, timeout: Optional[float] = None) -> Optional[Job]:
         """Pop the highest-priority job, or None on timeout."""
@@ -201,4 +213,9 @@ class JobQueue:
                 return None
             if not self._heap:
                 return None
-            return heapq.heappop(self._heap)[2]
+            job = heapq.heappop(self._heap)[2]
+            depth = len(self._heap)
+        tracer = self._tracer()
+        if tracer.enabled:
+            tracer.event("queue.get", trace_id=job.id, depth=depth)
+        return job

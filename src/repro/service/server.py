@@ -15,6 +15,10 @@ per job, so worker threads share nothing.
 * ``GET /job/<id>`` — job status (+ report once succeeded);
 * ``GET /stats`` — cache/queue/worker metrics as JSON
   (``/stats?format=text`` for the flat text dump);
+* ``GET /metrics`` — Prometheus exposition format
+  (``text/plain; version=0.0.4`` with ``# HELP``/``# TYPE`` lines);
+* ``GET /trace/<id>`` — the job's span timeline as Chrome trace events
+  (save the ``traceEvents`` array and open it in Perfetto);
 * ``GET /healthz`` — liveness.
 
 Client errors are 4xx, a full queue is 503, and a failed job reports
@@ -23,6 +27,7 @@ its error string rather than crashing the server.
 from __future__ import annotations
 
 import json
+import logging
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Union
@@ -37,6 +42,9 @@ from ..ir.graph import Graph
 from ..ir.shape_inference import infer_shapes
 from ..ir.tensor import DataType
 from ..models.registry import build_model
+from ..obs.export import chrome_trace_events
+from ..obs.metrics import PROMETHEUS_CONTENT_TYPE
+from ..obs.trace import Tracer
 from .cache import ResultCache
 from .fingerprint import ProfileRequest
 from .metrics import MetricsRegistry
@@ -45,20 +53,24 @@ from .workers import WorkerPool
 
 __all__ = ["ProfilingService", "ProfilingServer", "default_runner"]
 
+log = logging.getLogger(__name__)
+
 
 def default_runner(request: ProfileRequest,
                    analysis_cache: Union[AnalysisCache, bool, None] = True,
-                   ) -> ProfileReport:
+                   tracer=None) -> ProfileReport:
     """Profile a request with a fresh, thread-private Profiler.
 
     Profiler state is per-call, but the (thread-safe) ``analysis_cache``
     may be shared across calls so structurally identical requests skip
     shape inference and AR/OAR construction even when they miss the
-    report cache (different precision/backend sweep points).
+    report cache (different precision/backend sweep points).  The
+    pinned ``tracer`` (the service's) makes the profiler's pipeline
+    spans nest under the job's attempt span.
     """
     profiler = Profiler(request.backend, request.platform,
                         request.precision, request.metric_source,
-                        analysis_cache=analysis_cache)
+                        analysis_cache=analysis_cache, tracer=tracer)
     return profiler.profile(request.graph)
 
 
@@ -79,23 +91,32 @@ class ProfilingService:
         runner=None,
         max_tracked_jobs: int = 4096,
         analysis_cache: Optional[AnalysisCache] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.metrics = MetricsRegistry()
         self.cache = ResultCache(max_bytes=cache_bytes,
                                  max_entries=cache_entries,
                                  disk_dir=cache_dir)
+        #: service-wide span collector behind ``/trace/<job>``: a
+        #: bounded ring, always on — per-job span overhead is a few µs
+        #: against multi-ms profiling jobs
+        self.tracer = tracer if tracer is not None else Tracer(
+            max_spans=50_000)
         #: per-service structural memo shared by all worker threads;
         #: sits below the report cache — see docs/PERF.md
-        self.analysis_cache = analysis_cache or AnalysisCache()
+        self.analysis_cache = analysis_cache or AnalysisCache(
+            metrics=self.metrics)
         if runner is None:
             runner = lambda request: default_runner(  # noqa: E731
-                request, analysis_cache=self.analysis_cache)
-        self.queue = JobQueue(maxsize=queue_size)
+                request, analysis_cache=self.analysis_cache,
+                tracer=self.tracer)
+        self.queue = JobQueue(maxsize=queue_size, tracer=self.tracer)
         self.pool = WorkerPool(runner, queue=self.queue,
                                cache=self.cache, metrics=self.metrics,
                                num_workers=workers,
                                backoff_seconds=backoff_seconds,
-                               analysis_cache=self.analysis_cache)
+                               analysis_cache=self.analysis_cache,
+                               tracer=self.tracer)
         self.default_max_retries = max_retries
         self.default_timeout = default_timeout
         self.metrics.gauge("queue.depth", lambda: self.queue.depth)
@@ -242,6 +263,27 @@ class ProfilingService:
             lines.append(f"cache_{name} {value}")
         return "\n".join(lines)
 
+    def metrics_text(self) -> str:
+        """Prometheus exposition dump (serve with
+        :data:`~repro.obs.metrics.PROMETHEUS_CONTENT_TYPE`)."""
+        return self.metrics.render_prometheus()
+
+    def trace(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """One job's span timeline, Chrome-trace shaped; None if unknown.
+
+        The ``traceEvents`` array is Perfetto-loadable as saved.
+        """
+        job = self.job(job_id)
+        if job is None:
+            return None
+        spans = self.tracer.spans_for(job_id)
+        return {
+            "job_id": job_id,
+            "status": job.status,
+            "span_count": len(spans),
+            "traceEvents": chrome_trace_events(spans),
+        }
+
     # ------------------------------------------------------------------
     def _track(self, job: Job) -> None:
         with self._jobs_lock:
@@ -275,6 +317,16 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_text(200, self.service.stats_text())
             else:
                 self._send_json(200, self.service.stats())
+        elif url.path == "/metrics":
+            self._send_bytes(200,
+                             self.service.metrics_text().encode("utf-8"),
+                             PROMETHEUS_CONTENT_TYPE)
+        elif url.path.startswith("/trace/"):
+            doc = self.service.trace(url.path[len("/trace/"):])
+            if doc is None:
+                self._send_json(404, {"error": "unknown job"})
+            else:
+                self._send_json(200, doc)
         elif url.path.startswith("/job/"):
             job = self.service.job(url.path[len("/job/"):])
             if job is None:

@@ -20,6 +20,7 @@ tests).  Around that single call sits the service's reliability policy:
 """
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -27,12 +28,15 @@ from typing import Any, Callable, Dict, Optional, Tuple, Type
 
 from ..analysis.cache import AnalysisCache
 from ..backends.base import UnsupportedModelError
+from ..obs.trace import get_tracer
 from .cache import ResultCache
 from .metrics import MetricsRegistry
 from .queue import (Job, JobQueue, JobStatus, JobTimeoutError,
                     QueueFullError)
 
 __all__ = ["WorkerPool"]
+
+log = logging.getLogger(__name__)
 
 #: worker loops poll at this period so ``stop()`` is prompt
 _POLL_SECONDS = 0.1
@@ -53,10 +57,13 @@ class WorkerPool:
         fatal_exceptions: Tuple[Type[BaseException], ...] =
             (UnsupportedModelError,),
         analysis_cache: Optional[AnalysisCache] = None,
+        tracer=None,
     ) -> None:
         if num_workers <= 0:
             raise ValueError("need at least one worker")
         self._runner = runner
+        #: pinned tracer (the owning service's); None uses the global one
+        self.tracer = tracer
         self._queue = queue
         self._cache = cache
         self.metrics = metrics or MetricsRegistry()
@@ -105,33 +112,45 @@ class WorkerPool:
             return len(self._inflight)
 
     # ------------------------------------------------------------------
+    def _tracer(self):
+        return self.tracer if self.tracer is not None else get_tracer()
+
     def submit(self, job: Job) -> Job:
         """Enqueue a job, dedup against cache and in-flight work.
 
         Returns the job that actually tracks the result — the given one,
-        or the in-flight leader it was merged onto.
+        or the in-flight leader it was merged onto.  The span carries
+        the job id as its ``trace_id``, so one job's submit, queue,
+        attempt and cache-store spans correlate into one timeline.
         """
-        cached = self._cache.get(job.key)
-        if cached is not None:
-            job.cache_hit = True
-            job.finish(cached)
-            self.metrics.counter("jobs.cache_hits").inc()
+        with self._tracer().span("job.submit", trace_id=job.id,
+                                 key=job.key[:16]) as span:
+            cached = self._cache.get(job.key)
+            if cached is not None:
+                span.set("outcome", "cache_hit")
+                job.cache_hit = True
+                job.finish(cached)
+                self.metrics.counter("jobs.cache_hits").inc()
+                return job
+            with self._inflight_lock:
+                leader = self._inflight.get(job.key)
+                if leader is not None and not leader.done:
+                    leader.dedup_count += 1
+                    span.set("outcome", "deduplicated")
+                    span.set("merged_onto", leader.id)
+                    self.metrics.counter("jobs.deduplicated").inc()
+                    return leader
+                self._inflight[job.key] = job
+            try:
+                self._queue.put(job)
+            except QueueFullError:
+                self._drop_inflight(job)
+                span.set("outcome", "rejected")
+                self.metrics.counter("jobs.rejected").inc()
+                raise
+            span.set("outcome", "enqueued")
+            self.metrics.counter("jobs.submitted").inc()
             return job
-        with self._inflight_lock:
-            leader = self._inflight.get(job.key)
-            if leader is not None and not leader.done:
-                leader.dedup_count += 1
-                self.metrics.counter("jobs.deduplicated").inc()
-                return leader
-            self._inflight[job.key] = job
-        try:
-            self._queue.put(job)
-        except QueueFullError:
-            self._drop_inflight(job)
-            self.metrics.counter("jobs.rejected").inc()
-            raise
-        self.metrics.counter("jobs.submitted").inc()
-        return job
 
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
@@ -149,27 +168,44 @@ class WorkerPool:
         wait = job.queue_wait_seconds
         if wait is not None:
             self.metrics.histogram("queue.wait_seconds").observe(wait)
+        tracer = self._tracer()
         report = None
         last_error: Optional[BaseException] = None
-        for attempt in range(job.max_retries + 1):
-            job.attempts = attempt + 1
-            try:
-                report = self._run_attempt(job)
-                last_error = None
-                break
-            except self._fatal as exc:
-                last_error = exc
-                break
-            except Exception as exc:
-                last_error = exc
-                if attempt < job.max_retries:
-                    self.metrics.counter("jobs.retries").inc()
-                    time.sleep(self._backoff * (2 ** attempt))
-        # publish-then-unregister: followers either find the leader in
-        # flight or the result already in the cache — never neither
-        if last_error is None:
-            self._cache.put(job.key, report)
-        self._drop_inflight(job)
+        with tracer.span("job.execute", trace_id=job.id,
+                         key=job.key[:16]) as exec_span:
+            for attempt in range(job.max_retries + 1):
+                job.attempts = attempt + 1
+                try:
+                    # the attempt span records error=True + the
+                    # exception type when the runner raises through it
+                    with tracer.span("job.attempt", trace_id=job.id,
+                                     attempt=attempt + 1) as attempt_span:
+                        report = self._run_attempt(job, attempt_span)
+                    last_error = None
+                    break
+                except self._fatal as exc:
+                    last_error = exc
+                    break
+                except Exception as exc:
+                    last_error = exc
+                    if attempt < job.max_retries:
+                        self.metrics.counter("jobs.retries").inc()
+                        time.sleep(self._backoff * (2 ** attempt))
+            # publish-then-unregister: followers either find the leader
+            # in flight or the result already in the cache — never
+            # neither
+            if last_error is None:
+                with tracer.span("cache.store", trace_id=job.id):
+                    self._cache.put(job.key, report)
+            self._drop_inflight(job)
+            exec_span.set("attempts", job.attempts)
+            if last_error is None:
+                exec_span.set("outcome", "succeeded")
+            else:
+                exec_span.set("outcome", "failed")
+                exec_span.set("error", str(last_error))
+        # signal completion only after the span is closed and recorded,
+        # so a waiter that reads the trace right away sees the full job
         if last_error is None:
             job.finish(report)
             self.metrics.counter("jobs.succeeded").inc()
@@ -178,16 +214,25 @@ class WorkerPool:
         else:
             job.fail(last_error)
             self.metrics.counter("jobs.failed").inc()
+            log.warning("job %s failed after %d attempt(s): %s",
+                        job.id, job.attempts, job.error)
 
-    def _run_attempt(self, job: Job):
+    def _run_attempt(self, job: Job, parent_span=None):
         if job.timeout_seconds is None:
             return self._runner(job.request)
         box: list = []
         error: list = []
+        tracer = self._tracer()
+        # explicit parent: the helper thread's span stack is empty, so
+        # without it the runner's spans would detach from the job's
+        # trace (a no-op parent has no span_id and links nothing)
+        parent = parent_span if hasattr(parent_span, "span_id") else None
 
         def call() -> None:
             try:
-                box.append(self._runner(job.request))
+                with tracer.span("job.attempt.body", trace_id=job.id,
+                                 parent=parent):
+                    box.append(self._runner(job.request))
             except BaseException as exc:  # noqa: BLE001 - reraised below
                 error.append(exc)
 

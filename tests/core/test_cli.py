@@ -144,3 +144,33 @@ def test_run_with_module_rollup(capsys):
     out = capsys.readouterr().out
     assert "module rollup (depth 1):" in out
     assert "layer1.0" in out
+
+
+def test_run_with_trace_writes_chrome_trace(capsys, tmp_path):
+    from repro.obs import NoopTracer, get_tracer
+    trace_path = tmp_path / "trace.json"
+    rc = main(["run", "--model", "mobilenetv2-05", "--top", "3",
+               "--trace", str(trace_path), "--trace-summary"])
+    assert rc == 0
+    # the CLI tracer is uninstalled once the command finishes
+    assert isinstance(get_tracer(), NoopTracer)
+    out = capsys.readouterr().out
+    assert "profiler stage times" in out          # stage table in report
+    assert f"written to {trace_path}" in out
+    assert "profile " in out                      # the span-tree summary
+    events = json.loads(trace_path.read_text())
+    assert isinstance(events, list) and events
+    names = {e["name"] for e in events}
+    # compile/mapping spans vanish when the shared analysis cache is
+    # warm from earlier tests; these stages always run
+    assert {"profile", "arep", "layer_profiles", "roofline"} <= names
+    for evt in events:
+        assert "ph" in evt and "ts" in evt and "name" in evt
+        if evt["ph"] == "X":
+            assert "dur" in evt
+
+
+def test_run_log_level_flag(capsys):
+    rc = main(["run", "--model", "mobilenetv2-05", "--top", "1",
+               "--log-level", "warning"])
+    assert rc == 0

@@ -1,0 +1,114 @@
+"""Exporters: Chrome trace-event schema, JSONL, the text tree."""
+import json
+
+from repro.obs import (Tracer, chrome_trace_events, format_span_tree,
+                       write_chrome_trace, write_jsonl)
+
+
+def _traced():
+    tracer = Tracer()
+    with tracer.span("profile", model="resnet"):
+        with tracer.span("compile"):
+            pass
+        tracer.event("cache.miss", tier="arep")
+    return tracer
+
+
+# ----------------------------------------------------------------------
+# chrome trace events
+# ----------------------------------------------------------------------
+def test_chrome_events_schema():
+    events = chrome_trace_events(_traced())
+    assert isinstance(events, list) and events
+    for evt in events:
+        assert "ph" in evt and "ts" in evt and "name" in evt
+        if evt["ph"] == "X":
+            assert isinstance(evt["dur"], (int, float))
+    phases = {e["ph"] for e in events}
+    assert "X" in phases          # complete spans
+    assert "i" in phases          # the instant event
+    assert "M" in phases          # thread-name metadata
+
+
+def test_chrome_events_carry_linkage_args():
+    events = chrome_trace_events(_traced())
+    by_name = {e["name"]: e for e in events if e["ph"] != "M"}
+    compile_args = by_name["compile"]["args"]
+    profile_args = by_name["profile"]["args"]
+    assert compile_args["parent_id"] == profile_args["span_id"]
+    assert compile_args["trace_id"] == profile_args["trace_id"]
+    assert profile_args["model"] == "resnet"
+
+
+def test_chrome_events_sorted_by_start():
+    events = [e for e in chrome_trace_events(_traced()) if e["ph"] != "M"]
+    starts = [e["ts"] for e in events]
+    assert starts == sorted(starts)
+
+
+def test_write_chrome_trace_is_a_bare_json_array(tmp_path):
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(str(path), _traced())
+    doc = json.loads(path.read_text())
+    assert isinstance(doc, list)
+    assert count == len(doc)
+
+
+def test_non_json_attribute_values_are_repred():
+    tracer = Tracer()
+    with tracer.span("s", obj=object()):
+        pass
+    events = chrome_trace_events(tracer)
+    assert isinstance(events[0]["args"]["obj"], str)
+
+
+# ----------------------------------------------------------------------
+# jsonl
+# ----------------------------------------------------------------------
+def test_write_jsonl_round_trips_spans(tmp_path):
+    tracer = _traced()
+    path = tmp_path / "spans.jsonl"
+    count = write_jsonl(str(path), tracer)
+    lines = path.read_text().splitlines()
+    assert count == len(lines) == len(tracer.spans())
+    docs = [json.loads(line) for line in lines]
+    assert {d["name"] for d in docs} == {"profile", "compile", "cache.miss"}
+    for doc in docs:
+        assert {"span_id", "trace_id", "start_us", "duration_us",
+                "attributes"} <= set(doc)
+
+
+# ----------------------------------------------------------------------
+# text tree
+# ----------------------------------------------------------------------
+def test_span_tree_indents_children_under_parents():
+    text = format_span_tree(_traced())
+    lines = text.splitlines()
+    assert lines[0].startswith("profile")
+    assert any(line.startswith("  compile") for line in lines)
+
+
+def test_span_tree_flags_errors():
+    tracer = Tracer()
+    try:
+        with tracer.span("bad"):
+            raise RuntimeError("x")
+    except RuntimeError:
+        pass
+    assert " !" in format_span_tree(tracer)
+
+
+def test_span_tree_renders_orphans_as_roots():
+    tracer = Tracer()
+    with tracer.span("parent"):
+        with tracer.span("child"):
+            pass
+    # simulate the parent falling out of a bounded ring
+    orphans = [s for s in tracer.spans() if s.name == "child"]
+    text = format_span_tree(orphans)
+    assert text.splitlines()[0].startswith("child")
+
+
+def test_span_tree_can_omit_attributes():
+    text = format_span_tree(_traced(), attrs=False)
+    assert "model=" not in text

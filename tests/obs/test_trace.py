@@ -1,0 +1,187 @@
+"""Tracer/Span semantics: nesting, errors, threads, globals, bounds."""
+import threading
+
+import pytest
+
+from repro.obs import (NoopTracer, Tracer, get_tracer, set_tracer,
+                       use_tracer)
+from repro.obs.trace import _NOOP_SPAN
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_tracer():
+    yield
+    set_tracer(None)
+
+
+# ----------------------------------------------------------------------
+# nesting and linkage
+# ----------------------------------------------------------------------
+def test_same_thread_nesting_links_parent_and_trace():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            assert tracer.current_span() is inner
+        assert tracer.current_span() is outer
+    assert tracer.current_span() is None
+    assert inner.parent_id == outer.span_id
+    # the root starts its own trace; children inherit it
+    assert outer.trace_id == outer.span_id
+    assert inner.trace_id == outer.trace_id
+
+
+def test_siblings_share_parent_not_each_other():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+    assert a.parent_id == root.span_id
+    assert b.parent_id == root.span_id
+    assert a.span_id != b.span_id
+
+
+def test_explicit_trace_id_and_spans_for():
+    tracer = Tracer()
+    with tracer.span("job", trace_id="job-1"):
+        with tracer.span("step"):
+            pass
+    with tracer.span("other"):
+        pass
+    names = {s.name for s in tracer.spans_for("job-1")}
+    assert names == {"job", "step"}
+
+
+def test_attributes_at_creation_and_via_set():
+    tracer = Tracer()
+    with tracer.span("s", model="resnet") as span:
+        span.set("layers", 53).set("cached", False)
+    doc = span.to_dict()
+    assert doc["attributes"] == {"model": "resnet", "layers": 53,
+                                 "cached": False}
+    assert doc["duration_us"] >= 0.0
+
+
+def test_timing_is_recorded():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            pass
+    assert inner.duration_us <= outer.duration_us
+    assert inner.start_us >= outer.start_us
+    assert outer.duration_seconds == pytest.approx(outer.duration_us / 1e6)
+
+
+# ----------------------------------------------------------------------
+# exception safety
+# ----------------------------------------------------------------------
+def test_exception_marks_error_and_reraises():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("boom") as span:
+            raise ValueError("nope")
+    assert span.error is True
+    assert span.attributes["exception"] == "ValueError"
+    assert span.duration_us is not None
+    # the stack unwound: a new span is a root again
+    with tracer.span("after") as after:
+        pass
+    assert after.parent_id is None
+
+
+def test_events_are_instantaneous_and_nest():
+    tracer = Tracer()
+    with tracer.span("parent") as parent:
+        evt = tracer.event("tick", depth=3)
+    assert evt.kind == "event"
+    assert evt.duration_us == 0.0
+    assert evt.parent_id == parent.span_id
+    assert evt.trace_id == parent.trace_id
+    lone = tracer.event("lone", trace_id="t-9")
+    assert lone.trace_id == "t-9"
+
+
+# ----------------------------------------------------------------------
+# cross-thread correlation
+# ----------------------------------------------------------------------
+def test_cross_thread_spans_need_explicit_parent():
+    tracer = Tracer()
+    recorded = {}
+
+    def worker(parent):
+        # the worker thread's stack is empty: without parent= this
+        # span would start a brand-new trace
+        with tracer.span("body", parent=parent) as s:
+            recorded["span"] = s
+
+    with tracer.span("attempt", trace_id="job-7") as attempt:
+        t = threading.Thread(target=worker, args=(attempt,))
+        t.start()
+        t.join()
+    body = recorded["span"]
+    assert body.parent_id == attempt.span_id
+    assert body.trace_id == "job-7"
+    assert body.thread_id != attempt.thread_id
+
+
+def test_thread_stacks_are_independent():
+    tracer = Tracer()
+    seen = []
+
+    def worker():
+        with tracer.span("w") as s:
+            seen.append(s)
+
+    with tracer.span("main"):
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+    # no implicit cross-thread parenting
+    assert seen[0].parent_id is None
+
+
+# ----------------------------------------------------------------------
+# buffer bound
+# ----------------------------------------------------------------------
+def test_max_spans_keeps_most_recent():
+    tracer = Tracer(max_spans=5)
+    for i in range(12):
+        with tracer.span(f"s{i}"):
+            pass
+    assert len(tracer) == 5
+    assert [s.name for s in tracer.spans()] == [f"s{i}" for i in range(7, 12)]
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+# ----------------------------------------------------------------------
+# globals and the no-op default
+# ----------------------------------------------------------------------
+def test_default_tracer_is_noop():
+    assert isinstance(get_tracer(), NoopTracer)
+    assert get_tracer().enabled is False
+    assert get_tracer().span("x") is _NOOP_SPAN
+    assert get_tracer().event("x") is None
+    assert len(get_tracer()) == 0
+
+
+def test_noop_span_is_inert():
+    with _NOOP_SPAN as s:
+        assert s.set("k", "v") is s
+
+
+def test_set_tracer_and_restore():
+    tracer = Tracer()
+    assert set_tracer(tracer) is tracer
+    assert get_tracer() is tracer
+    assert isinstance(set_tracer(None), NoopTracer)
+
+
+def test_use_tracer_restores_previous_even_on_error():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with use_tracer(tracer) as active:
+            assert get_tracer() is active is tracer
+            raise RuntimeError("boom")
+    assert isinstance(get_tracer(), NoopTracer)

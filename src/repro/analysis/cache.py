@@ -19,8 +19,12 @@ shapes    ``fp``                                      ``value_info`` map
 arep      ``fp, precision``                           AR
 mapped    ``fp, backend, spec, precision``            compiled + AR + OAR
                                                       + mapped layers
-plan      ``fp, seed``                                ExecutionPlan
+plan      ``fp, seed, pipeline-fingerprint``          ExecutionPlan
 ========  ==========================================  ===================
+
+The plan key includes the optimization *pipeline fingerprint* (level +
+ordered pass list, :func:`repro.ir.passes.pipeline_fingerprint`), so
+plans compiled at different ``optimize`` levels never alias.
 
 The ``mapped`` tier stores the *post-mapping* OAR — backend layer
 mapping mutates the OAR (``set_fused_op``), so the safely shareable
@@ -45,6 +49,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..ir.fingerprint import graph_fingerprint
 from ..ir.graph import Graph
+from ..ir.passes import pipeline_fingerprint
 from ..ir.plan import ExecutionPlan
 from ..ir.shape_inference import infer_shapes
 from ..obs.metrics import MetricsRegistry, default_registry
@@ -184,11 +189,20 @@ class AnalysisCache:
         entry = build(self.arep(graph, precision))
         return self._put("mapped", key, entry)
 
-    def plan(self, graph: Graph, seed: int = 0) -> ExecutionPlan:
-        """Compiled :class:`ExecutionPlan` for ``graph`` (cached per fp+seed)."""
+    def plan(self, graph: Graph, seed: int = 0,
+             optimize: int = 0) -> ExecutionPlan:
+        """Compiled :class:`ExecutionPlan` for ``graph``.
+
+        Keyed by fingerprint, seed and the *pipeline fingerprint* of
+        the requested optimization level — two levels that happen to
+        resolve to the same pass list share an entry, while plans
+        compiled under different pass pipelines never alias.
+        """
         fp = self.ensure_shapes(graph)
+        key = (fp, seed, pipeline_fingerprint(int(optimize)))
         return self.get_or_build(
-            "plan", (fp, seed), lambda: ExecutionPlan(graph, seed=seed))
+            "plan", key,
+            lambda: ExecutionPlan(graph, seed=seed, optimize=optimize))
 
     # ------------------------------------------------------------------
     # introspection
@@ -201,6 +215,10 @@ class AnalysisCache:
     def hit_counts(self) -> Dict[str, int]:
         with self._lock:
             return dict(self._hits)
+
+    def miss_counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._misses)
 
     def __len__(self) -> int:
         with self._lock:

@@ -72,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="append automated optimization guidance")
     run.add_argument("--by-module", type=int, metavar="DEPTH", default=0,
                      help="append a module-level rollup at this depth")
+    run.add_argument("--optimize", type=int, default=1, choices=[0, 1, 2],
+                     help="execution-plan optimization level: 0 = none, "
+                          "1 = bit-exact fusion + fast kernels (default), "
+                          "2 = + BatchNorm folding (numerics-relaxed)")
+    run.add_argument("--execute", action="store_true",
+                     help="also compile and run the model on the numpy "
+                          "runtime with random feeds, reporting plan "
+                          "shape and wall time")
     _add_obs_args(run)
 
     peak = sub.add_parser("peak", help="measure achieved roofline peaks")
@@ -92,6 +100,8 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["fp32", "fp16", "int8"])
     swp.add_argument("--batches", default="1,4,16,64,256",
                      help="comma-separated batch sizes")
+    swp.add_argument("--jobs", type=int, default=1,
+                     help="profile sweep points on this many threads")
     _add_obs_args(swp)
 
     srv = sub.add_parser("serve",
@@ -134,13 +144,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
     graph = build_model(args.model, batch_size=args.batch)
     source = MetricSource.PREDICTED if args.mode == "predict" \
         else MetricSource.MEASURED
-    profiler = Profiler(args.backend, args.platform, args.precision, source)
+    profiler = Profiler(args.backend, args.platform, args.precision, source,
+                        optimize=args.optimize)
     try:
         report = profiler.profile(graph)
     except UnsupportedModelError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(format_report(report, top=args.top or None))
+    if args.execute:
+        import time as _time
+
+        import numpy as np
+
+        plan = profiler.execution_plan(graph)
+        rng = np.random.default_rng(0)
+        feeds = {}
+        for t in graph.inputs:
+            dt = np.dtype(t.dtype.to_numpy())
+            if dt.kind in "iu":
+                feeds[t.name] = rng.integers(0, 100, size=t.shape).astype(dt)
+            else:
+                feeds[t.name] = rng.standard_normal(t.shape).astype(dt)
+        plan.run(feeds)  # warm the scratch arenas / weight caches
+        t0 = _time.perf_counter()
+        plan.run(feeds)
+        elapsed = _time.perf_counter() - t0
+        print(f"\nnumpy runtime (optimize={plan.optimize_level}): "
+              f"{plan.num_steps} steps, {plan.num_fused_steps} fused, "
+              f"{plan.num_folded} folded; {elapsed * 1e3:.2f} ms/run")
     if args.insights:
         from .insights import analyze, format_insights
         print()
@@ -193,7 +225,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = sweep_batch_sizes(
         lambda bs: build_model(args.model, batch_size=bs),
         backend=args.backend, spec=args.platform,
-        precision=args.precision, batch_sizes=batches)
+        precision=args.precision, batch_sizes=batches, jobs=args.jobs)
     print(f"{args.model} on {sweep.platform_name} "
           f"({args.backend}, {args.precision})")
     print(f"{'batch':>6s} {'latency(ms)':>12s} {'samples/s':>11s} "

@@ -32,6 +32,7 @@ from ..backends.mapping import MappedLayer, ReformatUnit
 from ..hardware.counters import CounterProfiler
 from ..hardware.specs import HardwareSpec, platform
 from ..ir.graph import Graph
+from ..ir.plan import ExecutionPlan, compile_plan
 from ..ir.shape_inference import infer_shapes
 from ..ir.tensor import DataType
 from ..obs.trace import get_tracer
@@ -86,6 +87,7 @@ class Profiler:
         counter_profiler: Optional[CounterProfiler] = None,
         analysis_cache: Union[AnalysisCache, bool, None] = True,
         tracer=None,
+        optimize: int = 1,
     ) -> None:
         self.backend = backend_by_name(backend) if isinstance(backend, str) \
             else backend
@@ -110,9 +112,21 @@ class Profiler:
         #: resolves the process-wide tracer at each profile() call, so
         #: ``proof run --trace`` reaches already-constructed profilers
         self.tracer = tracer
+        #: optimization level for compiled execution plans (see
+        #: ``repro.ir.passes.OPTIMIZE_LEVELS``); level 1 rewrites are
+        #: bit-exact, so it is the default for execution-side work
+        self.optimize = int(optimize)
 
     def _tracer(self):
         return self.tracer if self.tracer is not None else get_tracer()
+
+    def execution_plan(self, graph: Graph, seed: int = 0) -> ExecutionPlan:
+        """Compiled (and cached, when a cache is configured) plan for
+        ``graph`` at this profiler's optimization level."""
+        if self.analysis_cache is not None:
+            return self.analysis_cache.plan(graph, seed=seed,
+                                            optimize=self.optimize)
+        return compile_plan(graph, seed=seed, optimize=self.optimize)
 
     # ------------------------------------------------------------------
     def _spec_key(self) -> str:

@@ -7,6 +7,7 @@ batch programmatically.
 """
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Union
 
@@ -14,6 +15,7 @@ from ..backends import Backend
 from ..hardware.specs import HardwareSpec
 from ..ir.graph import Graph
 from ..ir.tensor import DataType
+from ..obs.trace import get_tracer
 from .profiler import Profiler
 from .report import ProfileReport
 
@@ -75,31 +77,60 @@ def sweep_batch_sizes(
     spec: Union[HardwareSpec, str] = "a100",
     precision: Union[DataType, str] = DataType.FLOAT16,
     batch_sizes: Sequence[int] = DEFAULT_BATCHES,
+    jobs: int = 1,
 ) -> BatchSweep:
     """Profile ``build(batch)`` across batch sizes.
 
     ``build`` is a callable like ``lambda bs: build_model("resnet50",
     batch_size=bs)``; each batch gets a fresh graph and a full PRoof run.
+
+    ``jobs > 1`` profiles sweep points on a thread pool.  Each point is
+    independent (fresh graph, one profile call) and the profiler's
+    analysis cache is already thread-safe, so points parallelize
+    cleanly; results come back in ``batch_sizes`` order regardless of
+    completion order.  Each point runs under a ``sweep.point`` span
+    parented to the sweep's root span so traces stay hierarchical
+    across worker threads.
     """
     if not batch_sizes:
         raise ValueError("need at least one batch size")
-    profiler = Profiler(backend, spec, precision)
-    points: List[SweepPoint] = []
-    name = ""
     for bs in batch_sizes:
         if bs <= 0:
             raise ValueError(f"batch sizes must be positive, got {bs}")
-        report: ProfileReport = profiler.profile(build(bs))
-        name = report.model_name
-        e = report.end_to_end
-        points.append(SweepPoint(
-            batch_size=bs,
-            latency_seconds=e.latency_seconds,
-            throughput_per_second=e.throughput_per_second,
-            achieved_flops=e.achieved_flops,
-            achieved_bandwidth=e.achieved_bandwidth,
-            arithmetic_intensity=e.arithmetic_intensity,
-        ))
+    if jobs <= 0:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    profiler = Profiler(backend, spec, precision)
+    tracer = get_tracer()
+
+    with tracer.span("sweep", points=len(batch_sizes), jobs=jobs) as root:
+        # cross-thread spans need an explicit parent: the worker thread
+        # has no ambient span stack (root may be a no-op span when
+        # tracing is disabled — then it carries no span_id to parent to)
+        parent = root if hasattr(root, "span_id") else None
+
+        def point(bs: int):
+            with tracer.span("sweep.point", parent=parent, batch=bs):
+                report: ProfileReport = profiler.profile(build(bs))
+                e = report.end_to_end
+                return SweepPoint(
+                    batch_size=bs,
+                    latency_seconds=e.latency_seconds,
+                    throughput_per_second=e.throughput_per_second,
+                    achieved_flops=e.achieved_flops,
+                    achieved_bandwidth=e.achieved_bandwidth,
+                    arithmetic_intensity=e.arithmetic_intensity,
+                ), report.model_name
+
+        if jobs == 1:
+            results = [point(bs) for bs in batch_sizes]
+        else:
+            with ThreadPoolExecutor(
+                    max_workers=min(jobs, len(batch_sizes)),
+                    thread_name_prefix="proof-sweep") as ex:
+                # executor.map preserves input order
+                results = list(ex.map(point, batch_sizes))
+    points = [p for p, _ in results]
+    name = results[-1][1] if results else ""
     return BatchSweep(model_name=name,
                       platform_name=profiler.spec.name,
                       points=points)

@@ -1,0 +1,183 @@
+"""Shared fusion pattern definitions.
+
+The PRoof workflow reasons about fusion at two layers: the backend
+:class:`~repro.backends.optimizer.FusionPlanner` *plans* which model
+ops one simulated backend layer will execute (it never touches
+values), while the graph passes in :mod:`repro.ir.passes` *rewrite*
+the graph so the numpy runtime actually executes that fused structure.
+Both layers must agree on what is fusable, or the reference runtime
+would execute a structure the analysis does not model — this module is
+the single source of those pattern definitions.
+
+Fused epilogues are encoded as lists of string tokens (node attributes
+only allow scalars and lists of scalars), e.g. ``["Relu"]``,
+``["Clip|lo=0.0|hi=6.0"]`` or ``["SiLU|side=l"]``.  The token grammar
+is ``OpType`` or ``OpType|key=value|...``; values are floats except
+``side``, which records which operand position the flowing tensor
+occupies (``l``/``r``) so binary ops keep their exact legacy operand
+order.  :func:`repro.ir.executor._apply_fused_ops` interprets tokens
+with the same kernels the unfused nodes would have used, so fusion is
+bit-preserving.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["FUSABLE_ACTIVATIONS", "CHAIN_UNARY", "CHAIN_BINARY",
+           "encode_op", "decode_op", "epilogue_token", "match_silu"]
+
+#: single-node activations a conv/GEMM epilogue can absorb — the exact
+#: set the backend FusionPlanner uses for its conv/matmul groups
+FUSABLE_ACTIVATIONS = {"Relu", "LeakyRelu", "Clip", "HardSwish",
+                       "HardSigmoid", "Sigmoid", "Tanh", "Elu"}
+
+#: attribute-free unary ops that may join a fused elementwise chain
+CHAIN_UNARY = {"Relu", "Sigmoid", "Tanh", "Exp", "Log", "Sqrt", "Neg",
+               "Abs", "Erf", "Gelu", "HardSwish", "HardSigmoid",
+               "Softplus", "Mish"}
+
+#: binary ops that may join a chain when the other operand is a scalar
+#: constant (the scalar bakes into the token)
+CHAIN_BINARY = {"Add", "Sub", "Mul", "Div", "Pow", "Min", "Max"}
+
+
+def encode_op(op_type: str, **params) -> str:
+    """``encode_op("Clip", lo=0.0, hi=6.0) -> "Clip|lo=0.0|hi=6.0"``."""
+    parts = [op_type]
+    for key, value in params.items():
+        if value is None:
+            continue
+        parts.append(f"{key}={value!r}" if isinstance(value, str)
+                     else f"{key}={float(value)!r}")
+    return "|".join(parts)
+
+
+def decode_op(token: str) -> Tuple[str, Dict[str, object]]:
+    """Inverse of :func:`encode_op`; float params parse back to float."""
+    parts = token.split("|")
+    params: Dict[str, object] = {}
+    for part in parts[1:]:
+        key, _, raw = part.partition("=")
+        if raw.startswith("'") or raw.startswith('"'):
+            params[key] = raw[1:-1]
+        else:
+            params[key] = float(raw)
+    return parts[0], params
+
+
+def _scalar_const(graph, name: str) -> Optional[float]:
+    """The value of a data-carrying scalar float initializer, else None."""
+    if not name:
+        return None
+    init = graph.initializers.get(name)
+    if init is None or init.data is None:
+        return None
+    arr = np.asarray(init.data)
+    if arr.size != 1 or arr.dtype.kind != "f":
+        return None
+    return float(arr.reshape(-1)[0])
+
+
+def _float_dtype(graph, tensor: str):
+    """The numpy dtype of ``tensor`` if it is a float tensor, else None."""
+    try:
+        info = graph.tensor(tensor)
+    except KeyError:
+        return None
+    dt = info.dtype.to_numpy()
+    return dt if np.dtype(dt).kind == "f" else None
+
+
+def epilogue_token(graph, node, source: str) -> Optional[str]:
+    """The fused-op token for applying ``node`` to tensor ``source``.
+
+    Returns None when the node is not numerically fusable onto
+    ``source``: the pattern must be a fusable unary (Clip bounds and
+    alphas bake into the token) or a binary op whose other operand is a
+    scalar float constant of the source tensor's dtype.  This predicate
+    is the numeric counterpart of ``FUSABLE_ACTIVATIONS`` membership in
+    the backend planner, tightened with the static-value conditions an
+    actually-executing rewrite needs.
+    """
+    op = node.op_type
+    if len(node.outputs) != 1:
+        return None
+    if _float_dtype(graph, source) is None:
+        return None
+    if op in CHAIN_UNARY:
+        if list(node.present_inputs) != [source]:
+            return None
+        return encode_op(op)
+    if op == "LeakyRelu":
+        if list(node.present_inputs) != [source]:
+            return None
+        return encode_op(op, alpha=node.float_attr("alpha", 0.01))
+    if op == "Elu":
+        if list(node.present_inputs) != [source]:
+            return None
+        return encode_op(op, alpha=node.float_attr("alpha", 1.0))
+    if op == "Clip":
+        if not node.inputs or node.inputs[0] != source:
+            return None
+        lo = hi = None
+        if len(node.inputs) > 1 and node.inputs[1]:
+            lo = _scalar_const(graph, node.inputs[1])
+            if lo is None:
+                return None
+        if len(node.inputs) > 2 and node.inputs[2]:
+            hi = _scalar_const(graph, node.inputs[2])
+            if hi is None:
+                return None
+        return encode_op(op, lo=lo, hi=hi)
+    if op in CHAIN_BINARY:
+        if len(node.inputs) != 2 or source not in node.inputs:
+            return None
+        side = "l" if node.inputs[0] == source else "r"
+        other = node.inputs[1] if side == "l" else node.inputs[0]
+        if other == source:
+            return None
+        const = _scalar_const(graph, other)
+        if const is None:
+            return None
+        # the legacy binary kernel casts to inputs[0]'s dtype: with the
+        # scalar on the left that is the *constant's* dtype, so require
+        # it to match the flowing tensor's dtype exactly
+        init = graph.initializers[other]
+        if np.asarray(init.data).dtype != _float_dtype(graph, source):
+            return None
+        return encode_op(op, c=const, side=side)
+    return None
+
+
+def match_silu(graph, consumers, source: str):
+    """Match ``Mul(x, Sigmoid(x))`` hanging off ``source``.
+
+    ``consumers`` are the consuming nodes of ``source``; on a match
+    returns ``(token, [sigmoid_node, mul_node])``, else None.  Mirrors
+    the backend planner's two-node SiLU pattern
+    (``FusionPlanner._absorb_activation``).
+    """
+    if len(consumers) != 2:
+        return None
+    types = sorted(n.op_type for n in consumers)
+    if types != ["Mul", "Sigmoid"]:
+        return None
+    sig = next(n for n in consumers if n.op_type == "Sigmoid")
+    mul = next(n for n in consumers if n.op_type == "Mul")
+    if list(sig.present_inputs) != [source]:
+        return None
+    if sorted(mul.inputs) != sorted([source, sig.outputs[0]]):
+        return None
+    # the sigmoid branch must feed only the mul, and neither
+    # intermediate may be a graph output
+    outputs = set(graph.output_names)
+    if sig.outputs[0] in outputs or source in outputs:
+        return None
+    if len(graph.consumers(sig.outputs[0])) != 1:
+        return None
+    if _float_dtype(graph, source) is None:
+        return None
+    side = "l" if mul.inputs[0] == source else "r"
+    return encode_op("SiLU", side=side), [sig, mul]

@@ -23,13 +23,31 @@ comparison), where all of that work is invariant across runs.
   window stacks are allocated once per plan and reused across runs
   (padding borders are written once; only the interior changes).
 
-A plan's results are bit-identical to the legacy ``execute()`` path:
-weights materialize from the *original* graph's initializers in the
-same order with the same seeded generator, and the specialized conv /
-pool steps perform exactly the legacy arithmetic on reused buffers.
-``run`` is serialized with an internal lock because the scratch arena
-is per-plan state; share plans across threads freely, but concurrent
-runs of one plan execute back-to-back.
+Plans optionally compile against a graph rewritten by the leveled
+optimization pipeline (:func:`repro.ir.passes.optimize_graph`):
+
+* ``optimize=0`` (default) keeps the historical behavior — plan-time
+  shape-constant folding only, bit-identical to ``execute()``;
+* ``optimize=1`` adds the bit-exact rewrites (conv/GEMM activation
+  fusion, elementwise chain fusion, CSE, DCE) and the bit-exact fast
+  kernels — fused epilogues run inside the conv step, 1x1 convolutions
+  skip im2col entirely and go straight to GEMM — still bit-identical;
+* ``optimize=2`` adds BatchNorm weight folding and the
+  numerics-relaxed depthwise MAC-loop kernel; outputs then match the
+  legacy executor within float rounding (``rtol=1e-5``), not
+  bit-for-bit.
+
+At level 2 the plan eagerly materializes the original graph's weights
+with the seeded generator *before* folding, so the folded parameters
+derive from exactly the weight stream the legacy executor draws.
+
+A level-0/1 plan's results are bit-identical to the legacy
+``execute()`` path: weights materialize from the *original* graph's
+initializers in the same order with the same seeded generator, and the
+specialized conv / pool steps perform exactly the legacy arithmetic on
+reused buffers.  ``run`` is serialized with an internal lock because
+the scratch arena is per-plan state; share plans across threads
+freely, but concurrent runs of one plan execute back-to-back.
 """
 from __future__ import annotations
 
@@ -37,13 +55,14 @@ import threading
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from ..obs.trace import get_tracer
-from .executor import (ExecutionError, _EXEC, _im2col,
+from .executor import (ExecutionError, _EXEC, _fused_stages, _im2col,
                        _resolve_pads_for_shape)
 from .graph import Graph
 from .node import Node
-from .passes import fold_shape_constants
+from .passes import fold_shape_constants, optimize_graph
 from .shape_inference import infer_shapes
 
 __all__ = ["ExecutionPlan", "compile_plan"]
@@ -67,13 +86,32 @@ class _Step:
 class ExecutionPlan:
     """A graph compiled for repeated execution (see module docstring)."""
 
-    def __init__(self, graph: Graph, seed: int = 0, fold: bool = True) -> None:
+    def __init__(self, graph: Graph, seed: int = 0, fold: bool = True,
+                 optimize: int = 0) -> None:
         self.graph = graph
         self.seed = seed
+        self.optimize_level = int(optimize)
         work = graph.copy()
         if not work.value_info:
             infer_shapes(work)
-        if fold:
+        self._weights: Optional[Dict[str, np.ndarray]] = None
+        if self.optimize_level >= 2:
+            # weight-materializing passes (BN folding) run next: draw the
+            # seeded weight stream first — original initializer order,
+            # original generator — and pin it on the work copy, so folded
+            # parameters derive from exactly the values the legacy
+            # executor would have drawn for this seed
+            rng = np.random.default_rng(seed)
+            self._weights = {name: init.materialize(rng)
+                             for name, init in graph.initializers.items()}
+            for name, arr in self._weights.items():
+                init = work.initializers.get(name)
+                if init is not None and init.data is None:
+                    init.data = arr
+        if self.optimize_level > 0:
+            work = optimize_graph(work, level=self.optimize_level,
+                                  in_place=True)
+        elif fold:
             work = fold_shape_constants(work, in_place=True)
         self.plan_graph = work
         #: constants produced by plan-time folding (always materialized)
@@ -82,7 +120,6 @@ class ExecutionPlan:
             if name not in graph.initializers and init.data is not None}
         self._stable_names: Set[str] = \
             set(graph.initializers) | set(self._folded_consts)
-        self._weights: Optional[Dict[str, np.ndarray]] = None
         self._scratch: Dict[object, np.ndarray] = {}
         self._lock = threading.Lock()
         self._run_count = 0
@@ -105,6 +142,10 @@ class ExecutionPlan:
                 run = self._compile_conv(node)
             elif node.op_type in ("MaxPool", "AveragePool"):
                 run = self._compile_pool(node)
+            elif node.op_type == "Gemm":
+                run = self._compile_gemm(node)
+            elif node.op_type == "FusedElementwise":
+                run = self._compile_fused_elementwise(node)
             if run is None:
                 run = self._compile_generic(node, fn)
             steps.append(_Step(node, run))
@@ -155,6 +196,22 @@ class ExecutionPlan:
             self._scratch[key] = buf
         return buf
 
+    # -- fused elementwise chains ---------------------------------------
+    def _compile_fused_elementwise(self, node: Node) -> Optional[_StepFn]:
+        """Token chain compiled once; one buffer pass per stage, no
+        per-node dispatch, env traffic or release bookkeeping between
+        the fused stages."""
+        stages = _fused_stages(list(node.attrs.get("fused_ops") or ()))
+        x_name = node.inputs[0]
+
+        def run(env: Dict[str, np.ndarray]) -> List[np.ndarray]:
+            y = env[x_name]
+            dt = y.dtype
+            for fn in stages:
+                y = fn(y, dt)
+            return [y]
+        return run
+
     # -- convolution ----------------------------------------------------
     def _compile_conv(self, node: Node) -> Optional[_StepFn]:
         xs = self._static_shape(node.inputs[0])
@@ -185,33 +242,122 @@ class ExecutionPlan:
         cacheable = w_name in self._stable_names and \
             (b_name is None or b_name in self._stable_names)
         state: Dict[str, object] = {}
+        # fused activation/scalar epilogue (optimize >= 1): stages run
+        # the exact arithmetic the absorbed nodes' kernels would have
+        stages = _fused_stages(list(node.attrs.get("fused_ops") or ()))
+        # 1x1 stride-respecting convolution is a pure GEMM over a
+        # reshape of the input — same values in, same matmul, so the
+        # im2col copy can be skipped without changing a bit
+        fast_1x1 = self.optimize_level >= 1 and kh == 1 and kw == 1 \
+            and dh == 1 and dw == 1 and not padded
+        # depthwise MAC loop sums the kh*kw products in a different
+        # order than BLAS does inside the im2col GEMM, so it is gated
+        # to the numerics-relaxed level
+        fast_depthwise = self.optimize_level >= 2 and group > 1 \
+            and group == c_in and cg_in == 1 and cg_out == 1 \
+            and not fast_1x1
 
-        def run(env: Dict[str, np.ndarray]) -> List[np.ndarray]:
-            x = env[x_name]
-            wt = env[w_name]
-            b = env[b_name] if b_name else None
-            acc = x.dtype if x.dtype == np.float64 else np.float32
+        def finish(y: np.ndarray, x: np.ndarray) -> np.ndarray:
+            out = y if y.dtype == x.dtype else y.astype(x.dtype)
+            if stages:
+                dt = out.dtype
+                for fn in stages:
+                    out = fn(out, dt)
+            return out
+
+        def weights_for(env, acc):
             if not cacheable or state.get("acc") != acc:
-                # (group, cg_out, cg_in*kh*kw): same values as the legacy
-                # per-group wt[g*cg_out:(g+1)*cg_out].reshape(cg_out, -1)
-                state["w"] = wt.reshape(group, cg_out, -1).astype(acc)
+                wt = env[w_name]
+                b = env[b_name] if b_name else None
+                if fast_depthwise:
+                    # (c_out, kh*kw): one weight scalar per channel/tap
+                    state["w"] = wt.reshape(c_out, kh * kw).astype(acc)
+                else:
+                    # (group, cg_out, cg_in*kh*kw): same values as the
+                    # legacy wt[g*cg_out:(g+1)*cg_out].reshape(cg_out, -1)
+                    state["w"] = wt.reshape(group, cg_out, -1).astype(acc)
                 state["bias"] = None if b is None \
                     else b.reshape(1, -1, 1, 1).astype(acc)
                 state["acc"] = acc
-            # one im2col over all channels: the (n, C, kh, kw, oH, oW)
-            # arena regroups to per-group column blocks by pure reshape,
-            # so every group sees exactly the values the legacy per-group
-            # _im2col produced — without `group` pad/gather passes
-            xp = self._buffer(
-                ("conv.xp", id(node)),
-                (n, c_in, h + ph0 + ph1, w_dim + pw0 + pw1),
-                x.dtype, fill=0) if padded else None
-            cols = self._buffer(("conv.cols", id(node)),
-                                (n, c_in, kh, kw, out_h, out_w), x.dtype)
-            col2d, oh, ow = _im2col(
-                x, kh, kw, sh, sw, ph0, pw0, ph1, pw1, dh, dw,
-                xp=xp, cols=cols)
-            w_all = state["w"]
+            return state["w"], state["bias"]
+
+        # with few output pixels the per-tap numpy dispatch dominates:
+        # gather windows in one strided copy and run one batched
+        # per-channel GEMV instead of kh*kw multiply/accumulate passes
+        small_dw = fast_depthwise and dh == 1 and dw == 1 \
+            and out_h * out_w <= 32
+
+        if fast_depthwise:
+            def run(env: Dict[str, np.ndarray]) -> List[np.ndarray]:
+                x = env[x_name]
+                acc = x.dtype if x.dtype == np.float64 else np.float32
+                w2, bias = weights_for(env, acc)
+                if padded:
+                    xp = self._buffer(
+                        ("conv.xp", id(node)),
+                        (n, c_in, h + ph0 + ph1, w_dim + pw0 + pw1),
+                        x.dtype, fill=0)
+                    xp[:, :, ph0:ph0 + h, pw0:pw0 + w_dim] = x
+                else:
+                    xp = x
+                if small_dw:
+                    win = self._buffer(
+                        ("conv.dwwin", id(node)),
+                        (n, c_out, out_h, out_w, kh, kw), acc)
+                    view = sliding_window_view(
+                        xp, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+                    np.copyto(win, view)
+                    m = win.reshape(n, c_out, out_h * out_w, kh * kw)
+                    y = np.matmul(m, w2[:, :, None]) \
+                        .reshape(n, c_out, out_h, out_w)
+                else:
+                    # fresh output (it escapes the step); scratch only
+                    # for the per-tap product
+                    y = np.zeros((n, c_out, out_h, out_w), dtype=acc)
+                    tmp = self._buffer(("conv.dwtmp", id(node)),
+                                       (n, c_out, out_h, out_w), acc)
+                    for i in range(kh):
+                        hi = i * dh
+                        for j in range(kw):
+                            wj = j * dw
+                            patch = xp[:, :, hi:hi + sh * out_h:sh,
+                                       wj:wj + sw * out_w:sw]
+                            np.multiply(
+                                patch,
+                                w2[:, i * kw + j].reshape(1, -1, 1, 1),
+                                out=tmp)
+                            y += tmp
+                if bias is not None:
+                    np.add(y, bias, out=y)
+                return [finish(y, x)]
+            return run
+
+        def run(env: Dict[str, np.ndarray]) -> List[np.ndarray]:
+            x = env[x_name]
+            acc = x.dtype if x.dtype == np.float64 else np.float32
+            w_all, bias = weights_for(env, acc)
+            if fast_1x1:
+                if sh == 1 and sw == 1:
+                    col2d = x.reshape(n, c_in, out_h * out_w)
+                else:
+                    col2d = np.ascontiguousarray(
+                        x[:, :, ::sh, ::sw]).reshape(n, c_in, out_h * out_w)
+                oh, ow = out_h, out_w
+            else:
+                # one im2col over all channels: the (n, C, kh, kw, oH,
+                # oW) arena regroups to per-group column blocks by pure
+                # reshape, so every group sees exactly the values the
+                # legacy per-group _im2col produced — without `group`
+                # pad/gather passes
+                xp = self._buffer(
+                    ("conv.xp", id(node)),
+                    (n, c_in, h + ph0 + ph1, w_dim + pw0 + pw1),
+                    x.dtype, fill=0) if padded else None
+                cols = self._buffer(("conv.cols", id(node)),
+                                    (n, c_in, kh, kw, out_h, out_w), x.dtype)
+                col2d, oh, ow = _im2col(
+                    x, kh, kw, sh, sw, ph0, pw0, ph1, pw1, dh, dw,
+                    xp=xp, cols=cols)
             if group == 1:
                 mat = col2d if col2d.dtype == acc else col2d.astype(acc)
                 y = np.matmul(w_all, mat).reshape(n, c_out, oh, ow)
@@ -223,10 +369,68 @@ class ExecutionPlan:
                 mat = colg if colg.dtype == acc else colg.astype(acc)
                 y = np.matmul(w_all[:, None], mat)
                 y = y.transpose(1, 0, 2, 3).reshape(n, c_out, oh, ow)
-            bias = state["bias"]
             if bias is not None:
-                y = y + bias
-            return [y if y.dtype == x.dtype else y.astype(x.dtype)]
+                # y is freshly produced by matmul (or a copying reshape
+                # of it): accumulating in place yields identical values
+                # without another full-tensor allocation
+                np.add(y, bias, out=y)
+            return [finish(y, x)]
+        return run
+
+    # -- Gemm -----------------------------------------------------------
+    def _compile_gemm(self, node: Node) -> Optional[_StepFn]:
+        """Cache the transposed / accumulation-typed operands.
+
+        The generic Gemm kernel rebuilds ``B.T.astype(acc)`` (a full
+        transposed copy of the weight matrix) and ``beta * C`` on every
+        call.  Both are run-invariant when the operands are plan
+        weights, so build them once — the cached arrays are exactly the
+        arrays the legacy kernel constructs, fed to the same matmul, so
+        results stay bit-identical.
+        """
+        if self.optimize_level < 1:
+            return None
+        if len(node.inputs) < 2 or not node.inputs[1]:
+            return None
+        a_name, b_name = node.inputs[0], node.inputs[1]
+        c_name = node.inputs[2] if len(node.inputs) > 2 and node.inputs[2] \
+            else None
+        if b_name not in self._stable_names or \
+                (c_name is not None and c_name not in self._stable_names):
+            return None
+        trans_a = node.int_attr("transA", 0)
+        trans_b = node.int_attr("transB", 0)
+        alpha = node.float_attr("alpha", 1.0)
+        beta = node.float_attr("beta", 1.0)
+        stages = _fused_stages(list(node.attrs.get("fused_ops") or ()))
+        state: Dict[str, object] = {}
+
+        def run(env: Dict[str, np.ndarray]) -> List[np.ndarray]:
+            a = env[a_name]
+            if trans_a:
+                a = a.T
+            acc = np.float64 if env[a_name].dtype == np.float64 \
+                else np.float32
+            if state.get("acc") != acc:
+                b = env[b_name]
+                if trans_b:
+                    b = b.T
+                state["b"] = b.astype(acc)
+                state["c"] = None if c_name is None \
+                    else beta * env[c_name].astype(acc)
+                state["acc"] = acc
+            if a.dtype != acc or not a.flags.c_contiguous:
+                a = a.astype(acc)
+            y = alpha * np.matmul(a, state["b"])
+            if state["c"] is not None:
+                np.add(y, state["c"], out=y)
+            out_dt = env[a_name].dtype
+            y = y if y.dtype == out_dt else y.astype(out_dt)
+            if stages:
+                dt = y.dtype
+                for fn in stages:
+                    y = fn(y, dt)
+            return [y]
         return run
 
     # -- pooling --------------------------------------------------------
@@ -365,14 +569,36 @@ class ExecutionPlan:
 
     @property
     def num_folded(self) -> int:
-        """Nodes eliminated by plan-time constant folding."""
+        """Nodes eliminated or absorbed relative to the source graph."""
         return len(self.graph.nodes) - len(self._steps)
+
+    @property
+    def num_fused_steps(self) -> int:
+        """Steps that execute work absorbed from neighboring nodes.
+
+        Counts conv/GEMM steps carrying a fused epilogue or folded
+        BatchNorm parameters, and fused elementwise chains — the plan
+        side of the backend planner's multi-node / folded fusion
+        groups.
+        """
+        return sum(1 for s in self._steps
+                   if s.node.attrs.get("fused_ops")
+                   or "folded_bn" in s.node.attrs
+                   or s.node.op_type == "FusedElementwise")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"ExecutionPlan({self.graph.name!r}, {self.num_steps} steps, "
-                f"{self.num_folded} folded)")
+                f"{self.num_fused_steps} fused, {self.num_folded} folded, "
+                f"O{self.optimize_level})")
 
 
-def compile_plan(graph: Graph, seed: int = 0, fold: bool = True) -> ExecutionPlan:
-    """Compile ``graph`` for repeated execution."""
-    return ExecutionPlan(graph, seed=seed, fold=fold)
+def compile_plan(graph: Graph, seed: int = 0, fold: bool = True,
+                 optimize: int = 0) -> ExecutionPlan:
+    """Compile ``graph`` for repeated execution.
+
+    ``optimize`` selects the rewrite pipeline level (see
+    :data:`repro.ir.passes.OPTIMIZE_LEVELS`): 0 folds shape constants
+    only, 1 adds bit-exact fusion rewrites and fast kernels, 2 adds
+    BatchNorm folding and numerics-relaxed kernels.
+    """
+    return ExecutionPlan(graph, seed=seed, fold=fold, optimize=optimize)

@@ -77,6 +77,9 @@ class WorkerPool:
                 self.metrics.gauge(
                     f"analysis_cache.{tier}.hits",
                     lambda t=tier: analysis_cache.hit_counts()[t])
+                self.metrics.gauge(
+                    f"analysis_cache.{tier}.misses",
+                    lambda t=tier: analysis_cache.miss_counts()[t])
         self.num_workers = num_workers
         self._backoff = backoff_seconds
         self._fatal = fatal_exceptions

@@ -176,3 +176,33 @@ class TestBatchSizeGuard:
                           analysis_cache=False).profile(g)
         assert isinstance(report.batch_size, int)
         assert isinstance(report.end_to_end.batch_size, int)
+
+
+class TestPlanTierOptimizeKeys:
+    """The plan key must carry the optimization pipeline, not just the
+    fingerprint+seed, so differently-optimized plans never alias."""
+
+    def test_levels_do_not_alias(self):
+        cache = AnalysisCache()
+        g = small_graph()
+        p0 = cache.plan(g, seed=0, optimize=0)
+        p1 = cache.plan(g, seed=0, optimize=1)
+        assert p0 is not p1
+        assert (p0.optimize_level, p1.optimize_level) == (0, 1)
+        # same level re-requested hits the existing entry
+        assert cache.plan(g, seed=0, optimize=1) is p1
+        assert cache.plan(g, seed=0, optimize=0) is p0
+
+    def test_legacy_signature_means_level_zero(self):
+        cache = AnalysisCache()
+        g = small_graph()
+        assert cache.plan(g, seed=0) is cache.plan(g, seed=0, optimize=0)
+
+    def test_miss_counts_mirror_hit_counts(self):
+        cache = AnalysisCache()
+        g = small_graph()
+        cache.plan(g, seed=0, optimize=1)
+        cache.plan(g, seed=0, optimize=1)
+        assert cache.miss_counts()["plan"] == 1
+        assert cache.hit_counts()["plan"] == 1
+        assert cache.stats()["plan"] == {"hits": 1, "misses": 1}

@@ -77,3 +77,45 @@ class TestReportRoundtrip:
         # derived metrics recompute identically
         assert loaded.latency_share_by_class() == pytest.approx(
             report.latency_share_by_class())
+
+class TestParallelSweep:
+    """``jobs > 1`` must change wall-clock only, never the results."""
+
+    BATCHES = (1, 4, 16, 64)
+
+    @staticmethod
+    def build(bs):
+        return shufflenet_v2(0.5, batch_size=bs)
+
+    def test_threaded_results_match_serial(self):
+        serial = sweep_batch_sizes(self.build, batch_sizes=self.BATCHES)
+        threaded = sweep_batch_sizes(self.build, batch_sizes=self.BATCHES,
+                                     jobs=3)
+        assert [p.batch_size for p in threaded.points] == list(self.BATCHES)
+        assert threaded.points == serial.points    # frozen dataclasses
+        assert threaded.model_name == serial.model_name
+
+    def test_more_jobs_than_points_is_fine(self):
+        sweep = sweep_batch_sizes(self.build, batch_sizes=(1, 2), jobs=16)
+        assert [p.batch_size for p in sweep.points] == [1, 2]
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError, match="jobs must be positive"):
+            sweep_batch_sizes(self.build, batch_sizes=(1,), jobs=0)
+
+    def test_per_point_spans_parented_to_sweep_root(self):
+        from repro.obs import Tracer, set_tracer
+        tracer = Tracer()
+        set_tracer(tracer)
+        try:
+            sweep_batch_sizes(self.build, batch_sizes=(1, 4), jobs=2)
+        finally:
+            set_tracer(None)
+        spans = tracer.spans()
+        roots = [s for s in spans if s.name == "sweep"]
+        points = [s for s in spans if s.name == "sweep.point"]
+        assert len(roots) == 1 and len(points) == 2
+        # worker threads have no ambient stack: parenting is explicit
+        assert all(p.parent_id == roots[0].span_id for p in points)
+        assert {p.attributes["batch"] for p in points} == {1, 4}
+        assert roots[0].attributes["jobs"] == 2

@@ -166,3 +166,256 @@ class TestPipeline:
         assert opt.op_type_histogram().get("BatchNormalization", 0) == 0
         assert opt.num_nodes < g.num_nodes
         np.testing.assert_allclose(run(opt), baseline, rtol=2e-3, atol=1e-3)
+
+
+# ----------------------------------------------------------------------
+# the leveled plan-compiler pipeline (ISSUE 4)
+# ----------------------------------------------------------------------
+from repro.ir.fingerprint import graph_fingerprint  # noqa: E402
+from repro.ir.passes import (OPTIMIZE_LEVELS,  # noqa: E402
+                             eliminate_common_subexpressions,
+                             fuse_conv_activations, fuse_elementwise_chains,
+                             optimize_graph, pipeline_fingerprint,
+                             plan_pipeline)
+
+
+class TestFuseConvActivations:
+    def test_relu_absorbed_bit_identically(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 8, 8))
+        y = b.conv(x, 4, 3, padding=1, name="conv")
+        y = b.relu(y)
+        g = b.finish(y)
+        baseline = run(g)                       # materializes weights
+        fused = fuse_conv_activations(g)
+        assert "Relu" not in fused.op_type_histogram()
+        conv = next(n for n in fused.nodes if n.op_type == "Conv")
+        assert conv.attrs["fused_ops"] == ["Relu"]
+        np.testing.assert_array_equal(run(fused), baseline)
+
+    def test_relu6_clip_absorbed(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 8, 8))
+        y = b.conv(x, 4, 3, padding=1, name="conv")
+        y = b.relu6(y)
+        g = b.finish(y)
+        baseline = run(g)
+        fused = fuse_conv_activations(g)
+        assert "Clip" not in fused.op_type_histogram()
+        conv = next(n for n in fused.nodes if n.op_type == "Conv")
+        assert len(conv.attrs["fused_ops"]) == 1
+        np.testing.assert_array_equal(run(fused), baseline)
+
+    def test_two_node_silu_pattern_absorbed(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 8, 8))
+        y = b.conv(x, 4, 3, padding=1, name="conv")
+        y = b.silu(y)                           # Mul(x, Sigmoid(x))
+        g = b.finish(y)
+        baseline = run(g)
+        fused = fuse_conv_activations(g)
+        hist = fused.op_type_histogram()
+        assert "Sigmoid" not in hist and "Mul" not in hist
+        conv = next(n for n in fused.nodes if n.op_type == "Conv")
+        assert len(conv.attrs["fused_ops"]) == 1
+        np.testing.assert_array_equal(run(fused), baseline)
+
+    def test_graph_output_blocks_absorption(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 8, 8))
+        c = b.conv(x, 4, 3, padding=1, name="conv")
+        b.output(c)                             # conv result is observable
+        y = b.relu(c)
+        g = b.finish(y)
+        fused = fuse_conv_activations(g)
+        assert fused.op_type_histogram()["Relu"] == 1
+
+    def test_multi_consumer_blocks_absorption(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 8, 8))
+        c = b.conv(x, 4, 3, padding=1, name="conv")
+        y = b.add(b.relu(c), b.tanh(c))         # two non-SiLU consumers
+        g = b.finish(y)
+        fused = fuse_conv_activations(g)
+        assert fused.op_type_histogram()["Relu"] == 1
+        assert "fused_ops" not in next(
+            n for n in fused.nodes if n.op_type == "Conv").attrs
+
+
+class TestFuseElementwiseChains:
+    def chain_graph(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 8))
+        y = b.relu(x)
+        y = b.tanh(y)
+        y = b.mul_scalar(y, 2.0)
+        return b.finish(y)
+
+    def test_chain_collapses_to_one_node(self):
+        g = self.chain_graph()
+        v = np.random.default_rng(0).normal(size=(2, 8)).astype(np.float32)
+        baseline = run_graph(g, v)
+        fused = fuse_elementwise_chains(g)
+        hist = fused.op_type_histogram()
+        assert hist.get("FusedElementwise") == 1
+        assert "Relu" not in hist and "Tanh" not in hist and "Mul" not in hist
+        node = next(n for n in fused.nodes
+                    if n.op_type == "FusedElementwise")
+        assert node.attrs["fused_count"] == 3
+        assert len(node.attrs["fused_ops"]) == 3
+        np.testing.assert_array_equal(run_graph(fused, v), baseline)
+
+    def test_single_op_left_alone(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (4,))
+        g = b.finish(b.relu(x))
+        fused = fuse_elementwise_chains(g)
+        assert fused.op_type_histogram() == {"Relu": 1}
+
+    def test_intermediate_graph_output_breaks_chain(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (4,))
+        mid = b.relu(x)
+        b.output(mid)                           # observable intermediate
+        g = b.finish(b.tanh(mid))
+        fused = fuse_elementwise_chains(g)
+        assert "FusedElementwise" not in fused.op_type_histogram()
+
+    def test_idempotent(self):
+        g = fuse_elementwise_chains(self.chain_graph())
+        again = fuse_elementwise_chains(g)
+        assert graph_fingerprint(again) == graph_fingerprint(g)
+
+
+class TestCommonSubexpressionElimination:
+    def test_duplicate_nodes_merge(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (4,))
+        a1 = b.relu(x)
+        a2 = b.relu(x)                          # identical computation
+        g = b.finish(b.add(a1, a2))
+        v = np.random.default_rng(0).normal(size=(4,)).astype(np.float32)
+        baseline = run_graph(g, v)
+        slim = eliminate_common_subexpressions(g)
+        assert slim.op_type_histogram()["Relu"] == 1
+        np.testing.assert_array_equal(run_graph(slim, v), baseline)
+
+    def test_output_producers_survive(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (4,))
+        a1 = b.relu(x)
+        a2 = b.relu(x)
+        b.output(a1)
+        g = b.finish(a2)                        # both duplicates observable
+        slim = eliminate_common_subexpressions(g)
+        assert slim.op_type_histogram()["Relu"] == 2
+
+    def test_attribute_mismatch_blocks_merge(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 3, 4))
+        f1 = b.flatten(x, axis=1)
+        f2 = b.flatten(x, axis=2)               # same op, different attrs
+        g = b.finish(f1, f2)
+        slim = eliminate_common_subexpressions(g)
+        assert slim.op_type_histogram()["Flatten"] == 2
+
+
+class TestMultiOutputDce:
+    def test_partially_consumed_split_stays(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 8))
+        lo, hi = b.split(x, 2, axis=1)
+        dead = b.sigmoid(hi)
+        dead = b.node("Neg", [dead])            # whole branch unused
+        g = b.finish(b.relu(lo))
+        slim = eliminate_dead_nodes(g)
+        hist = slim.op_type_histogram()
+        assert hist == {"Split": 1, "Relu": 1}
+
+
+class TestBatchnormFoldAlgebra:
+    def test_folded_weights_match_hand_computation(self):
+        g = conv_bn_graph()
+        rng = np.random.default_rng(3)
+        for init in g.initializers.values():
+            init.data = rng.normal(
+                size=init.info.shape).astype(np.float32)
+        conv = next(n for n in g.nodes if n.op_type == "Conv")
+        bn = next(n for n in g.nodes
+                  if n.op_type == "BatchNormalization")
+        w = g.initializers[conv.inputs[1]].data.astype(np.float64)
+        gamma, beta, mean, var = (
+            g.initializers[t].data.astype(np.float64)
+            for t in bn.inputs[1:5])
+        eps = bn.float_attr("epsilon", 1e-5)
+        bias = (g.initializers[conv.inputs[2]].data.astype(np.float64)
+                if len(conv.inputs) > 2 and conv.inputs[2]
+                else np.zeros(w.shape[0]))
+        # executor convention: normalize by sqrt(var^2 + eps)
+        inv_std = gamma / np.sqrt(var ** 2 + eps)
+        want_w = (w * inv_std.reshape(-1, 1, 1, 1)).astype(np.float32)
+        want_b = ((bias - mean) * inv_std + beta).astype(np.float32)
+        folded = fold_batchnorm(g)
+        fconv = next(n for n in folded.nodes if n.op_type == "Conv")
+        assert fconv.attrs["folded_bn"]
+        np.testing.assert_array_equal(
+            folded.initializers[fconv.inputs[1]].data, want_w)
+        np.testing.assert_array_equal(
+            folded.initializers[fconv.inputs[2]].data, want_b)
+
+
+class TestOptimizeGraphPipeline:
+    def test_level_zero_is_the_historical_pipeline(self):
+        assert plan_pipeline(0) == ("fold_shape_constants",)
+
+    def test_levels_grow_monotonically(self):
+        assert set(plan_pipeline(1)) < set(plan_pipeline(2))
+        assert "fold_batchnorm" not in plan_pipeline(1)
+        assert "fold_batchnorm" in plan_pipeline(2)
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown optimization level"):
+            plan_pipeline(3)
+        with pytest.raises(ValueError, match="unknown optimization level"):
+            optimize_graph(conv_bn_graph(), level=-1)
+
+    def test_fingerprint_names_level_and_passes(self):
+        fps = {pipeline_fingerprint(lvl) for lvl in OPTIMIZE_LEVELS}
+        assert len(fps) == len(OPTIMIZE_LEVELS)
+        assert pipeline_fingerprint(1).startswith("O1:")
+        for name in plan_pipeline(1):
+            assert name in pipeline_fingerprint(1)
+
+    def test_level_one_is_bit_exact(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 8, 8))
+        y = b.conv(x, 4, 3, padding=1, name="conv")
+        y = b.silu(y)
+        y = b.node("Neg", [y])
+        y = b.node("Exp", [y])
+        g = b.finish(y)
+        baseline = run(g)
+        opt = optimize_graph(g, level=1)
+        assert len(opt) < len(g)
+        np.testing.assert_array_equal(run(opt), baseline)
+
+    def test_level_two_folds_bn_and_fuses(self):
+        g = conv_bn_graph()
+        baseline = run(g)
+        opt = optimize_graph(g, level=2)
+        hist = opt.op_type_histogram()
+        assert "BatchNormalization" not in hist
+        assert "Relu" not in hist               # fused into the conv
+        conv = next(n for n in opt.nodes if n.op_type == "Conv")
+        assert conv.attrs["fused_ops"] == ["Relu"]
+        assert "folded_bn" in conv.attrs
+        np.testing.assert_allclose(run(opt), baseline, rtol=1e-3, atol=1e-4)
+
+    def test_idempotent_at_every_level(self):
+        from repro.models import mobilenet_v2
+        g = mobilenet_v2(0.5, batch_size=1, image_size=32)
+        run(g)                                  # materialize weights
+        for level in OPTIMIZE_LEVELS:
+            once = optimize_graph(g, level=level)
+            twice = optimize_graph(once, level=level)
+            assert graph_fingerprint(twice) == graph_fingerprint(once)

@@ -194,3 +194,26 @@ def test_cancelled_job_is_skipped_not_run(make_report):
         assert redo.result(timeout=5.0) is not None
     finally:
         pool.stop()
+
+
+# ----------------------------------------------------------------------
+def test_analysis_cache_gauges_cover_every_tier():
+    """The pool exposes hit *and* miss gauges per tier (including the
+    plan tier) so /metrics can chart cache effectiveness."""
+    from repro.analysis.cache import AnalysisCache
+
+    cache = AnalysisCache(metrics=MetricsRegistry())
+    cache.get_or_build("plan", ("fp",), lambda: "plan")     # miss
+    cache.get_or_build("plan", ("fp",), lambda: "plan")     # hit
+    pool = WorkerPool(lambda req: None, queue=JobQueue(maxsize=4),
+                      cache=ResultCache(), metrics=MetricsRegistry(),
+                      analysis_cache=cache)
+    gauges = pool.metrics.snapshot()["gauges"]
+    for tier in AnalysisCache.TIERS:
+        assert f"analysis_cache.{tier}.hits" in gauges
+        assert f"analysis_cache.{tier}.misses" in gauges
+    assert gauges["analysis_cache.plan.hits"] == 1
+    assert gauges["analysis_cache.plan.misses"] == 1
+    # the gauges are live callbacks, not captured values
+    cache.get_or_build("plan", ("fp",), lambda: "plan")
+    assert pool.metrics.snapshot()["gauges"]["analysis_cache.plan.hits"] == 2

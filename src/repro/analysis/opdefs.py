@@ -396,7 +396,7 @@ class _PoolDef(OperatorDef):
     def read_bytes(self, op: OpView) -> Dict[str, float]:
         reads = super().read_bytes(op)
         kernel = list(op.node.ints_attr("kernel_shape") or [1])
-        strides = list(op.node.ints_attr("strides")) or kernel
+        strides = list(op.node.ints_attr("strides")) or [1] * len(kernel)
         frac = 1.0
         for k, s in zip(kernel, strides):
             if s > k:

@@ -1,0 +1,53 @@
+"""Regression corpus: minimized fuzz-found graphs, replayed forever.
+
+Every bug the fuzzer (or a developer) shakes out is distilled to the
+smallest graph that still triggers it and committed as a JSON document
+(:mod:`repro.ir.serialization` format) under ``tests/check/corpus/``.
+``proof check`` and the test suite replay the whole directory through
+:func:`~repro.check.fuzz.differential_check` on every run, so a fixed
+bug can never silently return.
+"""
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from ..ir.graph import Graph
+from ..ir.serialization import load, save
+from .fuzz import FuzzFailure, differential_check
+
+__all__ = ["save_case", "load_corpus", "replay_corpus"]
+
+
+def save_case(graph: Graph, path: Union[str, os.PathLike]) -> None:
+    """Write one corpus case (creates parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    save(graph, path)
+
+
+def load_corpus(directory: Union[str, os.PathLike]) -> List[Tuple[str, Graph]]:
+    """All ``*.json`` cases in ``directory``, sorted by filename."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [(p.stem, load(p)) for p in sorted(directory.glob("*.json"))]
+
+
+def replay_corpus(directory: Union[str, os.PathLike],
+                  seed: int = 0) -> Tuple[int, List[FuzzFailure]]:
+    """Replay every corpus case; returns ``(cases_run, failures)``."""
+    failures: List[FuzzFailure] = []
+    directory = Path(directory)
+    paths = sorted(directory.glob("*.json")) if directory.is_dir() else []
+    for index, path in enumerate(paths):
+        try:
+            problems = differential_check(load(path), seed=seed)
+        except Exception as exc:
+            problems = [f"replay crashed: {type(exc).__name__}: {exc}"]
+        if problems:
+            failures.append(FuzzFailure(
+                index, seed, [f"corpus case {path.stem!r}: {p}"
+                              for p in problems]))
+    return len(paths), failures

@@ -1,0 +1,100 @@
+"""Instrumented counting executor: measured FLOPs and bytes per run.
+
+The paper validates its analytical FLOP/memory model against hardware
+counters (Table 4).  The reproduction has no hardware counters, but it
+has the next best thing: a reference executor that sees every operand
+array.  :class:`CountingExecutor` hooks :meth:`Executor._observe` and
+meters the work each node *actually* performed:
+
+- multiply-adds for Conv/Gemm/MatMul are counted independently from the
+  runtime operand dimensions (the dims of the matmul the kernel really
+  ran), not from the analytical formulas;
+- every other op — and all byte counts — are costed by the
+  :mod:`repro.analysis.opdefs` rules applied to *runtime* tensor infos,
+  so any disagreement between statically inferred and actual shapes
+  shows up as a count mismatch.
+
+Byte counts share the paper's Equation-1 read policy (e.g. the
+``k/s`` strided-conv read fraction): numpy cannot measure DRAM traffic,
+so "measured" bytes means the memory model evaluated on measured shapes.
+"""
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analysis.opdefs import OpCost, cost_of
+from ..ir.executor import Executor
+from ..ir.graph import Graph
+from ..ir.node import Node
+from ..ir.tensor import DataType, TensorInfo
+
+__all__ = ["CountingExecutor"]
+
+
+class CountingExecutor(Executor):
+    """Reference executor that accumulates actual FLOP / byte counts."""
+
+    def __init__(self, graph: Graph, seed: int = 0,
+                 precision: DataType = DataType.FLOAT32) -> None:
+        super().__init__(graph, seed=seed)
+        self.precision = precision
+        self.flop = 0.0
+        self.read_bytes = 0.0
+        self.write_bytes = 0.0
+        self.nodes_observed = 0
+        self.by_op_type: Dict[str, OpCost] = {}
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+    def total_cost(self) -> OpCost:
+        return OpCost(self.flop, self.read_bytes, self.write_bytes)
+
+    # ------------------------------------------------------------------
+    def _observe(self, node: Node, ins: List[Optional[np.ndarray]],
+                 outs: List[np.ndarray]) -> None:
+        infos: Dict[str, TensorInfo] = {}
+        for name, arr in zip(node.inputs, ins):
+            if name and arr is not None:
+                infos[name] = TensorInfo(name, tuple(arr.shape),
+                                         DataType.from_numpy(arr.dtype))
+        for name, arr in zip(node.outputs, outs):
+            infos[name] = TensorInfo(name, tuple(arr.shape),
+                                     DataType.from_numpy(arr.dtype))
+        cost = cost_of(node, infos.__getitem__, self.precision)
+        actual = self._actual_flop(node, ins, outs)
+        if actual is not None:
+            cost = OpCost(actual, cost.read_bytes, cost.write_bytes)
+        self.flop += cost.flop
+        self.read_bytes += cost.read_bytes
+        self.write_bytes += cost.write_bytes
+        self.nodes_observed += 1
+        prev = self.by_op_type.get(node.op_type, OpCost(0.0, 0.0, 0.0))
+        self.by_op_type[node.op_type] = prev + cost
+
+    @staticmethod
+    def _actual_flop(node: Node, ins: List[Optional[np.ndarray]],
+                     outs: List[np.ndarray]) -> Optional[float]:
+        """Independent multiply-add count from runtime operand dims."""
+        op = node.op_type
+        if op == "Conv":
+            w, out = ins[1], outs[0]
+            macs = out.size * w.shape[1] * math.prod(w.shape[2:])
+            flop = 2.0 * macs
+            if len(ins) > 2 and ins[2] is not None:
+                flop += out.size
+            return flop
+        if op == "Gemm":
+            a, out = ins[0], outs[0]
+            k = a.shape[0] if node.int_attr("transA", 0) else a.shape[1]
+            flop = 2.0 * out.size * k
+            if len(ins) > 2 and ins[2] is not None:
+                flop += out.size
+            return flop
+        if op == "MatMul":
+            return 2.0 * outs[0].size * ins[0].shape[-1]
+        return None

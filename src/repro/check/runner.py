@@ -1,0 +1,88 @@
+"""`proof check` driver: fuzz + corpus replay + invariants in one call."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..ir.graph import Graph
+from ..models.registry import build_model
+from .corpus import replay_corpus
+from .fuzz import FuzzFailure, FuzzSummary, O2_RTOL, run_fuzz
+from .invariants import InvariantResult, run_invariants
+
+__all__ = ["CheckReport", "run_check", "DEFAULT_MODELS"]
+
+#: zoo models exercised by the invariant checks — tiny spatial configs
+#: so the counting executor finishes in seconds
+DEFAULT_MODELS: Sequence[str] = ("resnet50", "mobilenetv2-10", "vit-tiny")
+_TINY_IMAGE = 64
+
+
+@dataclass
+class CheckReport:
+    """Aggregate outcome of one ``proof check`` run."""
+
+    fuzz: Optional[FuzzSummary] = None
+    corpus_cases: int = 0
+    corpus_failures: List[FuzzFailure] = field(default_factory=list)
+    invariants: List[InvariantResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return ((self.fuzz is None or self.fuzz.ok)
+                and not self.corpus_failures
+                and all(r.ok for r in self.invariants))
+
+    def summary_lines(self) -> List[str]:
+        lines: List[str] = []
+        if self.fuzz is not None:
+            status = "ok" if self.fuzz.ok else \
+                f"{len(self.fuzz.failures)} FAILURES"
+            lines.append(f"fuzz: {self.fuzz.count} graphs "
+                         f"(seed {self.fuzz.seed}) — {status}")
+            for f in self.fuzz.failures:
+                lines.append("  " + f.describe().replace("\n", "\n  "))
+        status = "ok" if not self.corpus_failures else \
+            f"{len(self.corpus_failures)} FAILURES"
+        lines.append(f"corpus: {self.corpus_cases} cases replayed — {status}")
+        for f in self.corpus_failures:
+            lines.append("  " + f.describe().replace("\n", "\n  "))
+        bad = [r for r in self.invariants if not r.ok]
+        lines.append(f"invariants: {len(self.invariants)} checks — "
+                     + ("ok" if not bad else f"{len(bad)} FAILURES"))
+        for r in self.invariants:
+            if not r.ok:
+                lines.append("  " + r.describe())
+        lines.append("check: " + ("PASS" if self.ok else "FAIL"))
+        return lines
+
+
+def _zoo_graphs(models: Sequence[str]) -> Dict[str, Graph]:
+    graphs: Dict[str, Graph] = {}
+    for key in models:
+        graphs[key] = build_model(key, batch_size=1, image_size=_TINY_IMAGE)
+    return graphs
+
+
+def run_check(fuzz: int = 50, seed: int = 0, corpus: Optional[str] = None,
+              models: Optional[Sequence[str]] = DEFAULT_MODELS,
+              rtol: float = O2_RTOL,
+              log: Optional[Callable[[str], None]] = None) -> CheckReport:
+    """Run the full correctness harness.
+
+    ``fuzz=0`` skips fuzzing, ``corpus=None`` skips corpus replay, and
+    ``models=None`` (or empty) skips the model-zoo invariant checks.
+    """
+    emit = log or (lambda _line: None)
+    report = CheckReport()
+    if fuzz > 0:
+        emit(f"fuzzing {fuzz} graphs with seed {seed} ...")
+        report.fuzz = run_fuzz(fuzz, seed=seed, rtol=rtol)
+    if corpus is not None:
+        emit(f"replaying corpus at {corpus} ...")
+        report.corpus_cases, report.corpus_failures = \
+            replay_corpus(corpus, seed=seed)
+    if models:
+        emit(f"checking invariants on {', '.join(models)} ...")
+        report.invariants = run_invariants(_zoo_graphs(models))
+    return report

@@ -8,6 +8,7 @@ Examples::
     proof peak --platform orin-nx
     proof serve --port 8080 --workers 4 --cache-mb 64
     proof batch resnet50 vit-tiny --repeat 2
+    proof check --fuzz 200 --seed 0
     proof list
 """
 from __future__ import annotations
@@ -135,6 +136,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="submit the list this many times "
                           "(repeats exercise the result cache)")
     _add_obs_args(bat)
+
+    chk = sub.add_parser(
+        "check",
+        help="run the differential correctness harness (repro.check)")
+    chk.add_argument("--fuzz", type=int, default=50, metavar="N",
+                     help="number of random graphs to fuzz (0 disables)")
+    chk.add_argument("--seed", type=int, default=0,
+                     help="base seed for graph and feed generation")
+    chk.add_argument("--corpus", default=None, metavar="DIR",
+                     help="regression corpus directory to replay "
+                          "(default: tests/check/corpus when present)")
+    chk.add_argument("--no-corpus", action="store_true",
+                     help="skip corpus replay")
+    chk.add_argument("--no-models", action="store_true",
+                     help="skip model-zoo invariant checks")
+    chk.add_argument("--rtol", type=float, default=None,
+                     help="O2 relative tolerance (default 1e-5)")
 
     sub.add_parser("list", help="list models, platforms and backends")
     return parser
@@ -318,6 +336,26 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from ..check import DEFAULT_MODELS, O2_RTOL, run_check
+
+    corpus: Optional[str] = None
+    if not args.no_corpus:
+        corpus = args.corpus
+        if corpus is None and Path("tests/check/corpus").is_dir():
+            corpus = "tests/check/corpus"
+    report = run_check(
+        fuzz=args.fuzz, seed=args.seed, corpus=corpus,
+        models=None if args.no_models else DEFAULT_MODELS,
+        rtol=O2_RTOL if args.rtol is None else args.rtol,
+        log=print)
+    for line in report.summary_lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("models:")
     for entry in sorted(MODEL_ZOO.values(), key=lambda e: e.row):
@@ -336,7 +374,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"run": _cmd_run, "peak": _cmd_peak, "list": _cmd_list,
                 "sweep": _cmd_sweep, "serve": _cmd_serve,
-                "batch": _cmd_batch}
+                "batch": _cmd_batch, "check": _cmd_check}
     if getattr(args, "log_level", None):
         configure_logging(args.log_level)
     trace_path = getattr(args, "trace", None)

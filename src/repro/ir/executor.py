@@ -17,7 +17,7 @@ import numpy as np
 from .fusion import decode_op
 from .graph import Graph
 from .node import Node
-from .shape_inference import _same_pads
+from .shape_inference import _pool_output_size, _same_pads, _shape_slice_bounds
 from .tensor import DataType
 
 __all__ = ["execute", "ExecutionError", "Executor"]
@@ -64,6 +64,9 @@ def _resolve_pads_for_shape(node: Node, shape: Sequence[int],
             pads.append(pb)
             ends.append(pe)
         pads = pads + ends
+    elif auto_pad == "VALID":
+        # VALID overrides any pads attribute (matches shape inference)
+        pads = [0] * (2 * spatial)
     return pads
 
 
@@ -135,40 +138,101 @@ def _exec_conv(node: Node, ins):
     return _one(_apply_node_epilogue(node, y.astype(x.dtype)))
 
 
+def _pool_geometry(node: Node, shape: Sequence[int]):
+    """Static 2-D pooling geometry, shared by the executor and plans.
+
+    Returns ``(kernel, strides, dilations, pads, out, extra)`` where
+    ``out`` is the (out_h, out_w) spatial output and ``extra`` the
+    per-dim ``ceil_mode`` overhang past the padded edge — extra cells
+    that the last window covers but that hold no data and no padding.
+    """
+    kernel = list(node.ints_attr("kernel_shape"))
+    spatial = len(kernel)
+    strides = list(node.ints_attr("strides")) or [1] * spatial
+    dilations = list(node.ints_attr("dilations")) or [1] * spatial
+    pads = _resolve_pads_for_shape(node, shape, kernel, strides, dilations)
+    ceil_mode = node.int_attr("ceil_mode", 0)
+    out: List[int] = []
+    extra: List[int] = []
+    for i in range(spatial):
+        size = shape[2 + i]
+        pb, pe = pads[i], pads[spatial + i]
+        o = _pool_output_size(size, kernel[i], strides[i], dilations[i],
+                              pb, pe, ceil_mode)
+        eff_k = dilations[i] * (kernel[i] - 1) + 1
+        out.append(o)
+        extra.append(max(0, (o - 1) * strides[i] + eff_k - (size + pb + pe)))
+    return kernel, strides, dilations, pads, out, extra
+
+
+def _avgpool_divisor(node: Node, shape: Sequence[int]) -> Optional[np.ndarray]:
+    """Per-window divisor grid for AveragePool, or None for a plain mean.
+
+    Policy: cells past the padded edge (``ceil_mode`` overhang) never
+    count toward the divisor; explicit/auto padding counts only when
+    ``count_include_pad=1``.  A plain mean (every window divides by the
+    full kernel size) applies exactly when no window sees an uncounted
+    cell.
+    """
+    (kernel, strides, dilations, pads, outs, extras) = \
+        _pool_geometry(node, shape)
+    kh, kw = kernel
+    sh, sw = strides
+    dh, dw = dilations
+    ph0, pw0, ph1, pw1 = pads
+    out_h, out_w = outs
+    eh, ew = extras
+    include_pad = bool(node.int_attr("count_include_pad", 0))
+    padded = (ph0 | ph1 | pw0 | pw1) != 0
+    overhang = (eh | ew) != 0
+    if (include_pad or not padded) and not overhang:
+        return None
+    h, w = shape[2], shape[3]
+    ones = np.zeros((1, 1, h + ph0 + ph1 + eh, w + pw0 + pw1 + ew),
+                    dtype=np.float32)
+    if include_pad:
+        ones[:, :, :h + ph0 + ph1, :w + pw0 + pw1] = 1.0
+    else:
+        ones[:, :, ph0:ph0 + h, pw0:pw0 + w] = 1.0
+    counts = np.zeros((1, 1, out_h, out_w), dtype=np.float32)
+    for i in range(kh):
+        for j in range(kw):
+            hi, wj = i * dh, j * dw
+            counts += ones[:, :, hi:hi + sh * out_h:sh, wj:wj + sw * out_w:sw]
+    return np.maximum(counts, 1.0)
+
+
 @_register("MaxPool", "AveragePool")
 def _exec_pool(node: Node, ins):
     x = ins[0]
-    kernel = list(node.ints_attr("kernel_shape"))
-    strides = list(node.ints_attr("strides")) or list(kernel)
-    dilations = list(node.ints_attr("dilations")) or [1] * len(kernel)
-    pads = _resolve_pads(node, x, kernel, strides, dilations)
+    if x.ndim != 4:
+        raise ExecutionError("reference pooling supports 2-D pooling only")
+    (kernel, strides, dilations, pads, outs, extras) = \
+        _pool_geometry(node, x.shape)
     kh, kw = kernel
     sh, sw = strides
+    dh, dw = dilations
     ph0, pw0, ph1, pw1 = pads
+    out_h, out_w = outs
+    eh, ew = extras
     is_max = node.op_type == "MaxPool"
     fill = -np.inf if is_max else 0.0
     n, c, h, w = x.shape
-    xp = np.full((n, c, h + ph0 + ph1, w + pw0 + pw1), fill, dtype=np.float32)
+    xp = np.full((n, c, h + ph0 + ph1 + eh, w + pw0 + pw1 + ew), fill,
+                 dtype=np.float32)
     xp[:, :, ph0:ph0 + h, pw0:pw0 + w] = x
-    out_h = (h + ph0 + ph1 - kh) // sh + 1
-    out_w = (w + pw0 + pw1 - kw) // sw + 1
     stacks = np.empty((kh * kw, n, c, out_h, out_w), dtype=np.float32)
     for i in range(kh):
         for j in range(kw):
-            stacks[i * kw + j] = xp[:, :, i:i + sh * out_h:sh, j:j + sw * out_w:sw]
+            hi, wj = i * dh, j * dw
+            stacks[i * kw + j] = xp[:, :, hi:hi + sh * out_h:sh,
+                                    wj:wj + sw * out_w:sw]
     if is_max:
         y = stacks.max(axis=0)
     else:
-        if node.int_attr("count_include_pad", 0) or (ph0 | ph1 | pw0 | pw1) == 0:
-            y = stacks.mean(axis=0)
-        else:
-            ones = np.zeros_like(xp[:1, :1])
-            ones[:, :, ph0:ph0 + h, pw0:pw0 + w] = 1.0
-            counts = np.zeros((1, 1, out_h, out_w), dtype=np.float32)
-            for i in range(kh):
-                for j in range(kw):
-                    counts += ones[:, :, i:i + sh * out_h:sh, j:j + sw * out_w:sw]
-            y = stacks.sum(axis=0) / np.maximum(counts, 1.0)
+        counts = _avgpool_divisor(node, x.shape)
+        y = stacks.mean(axis=0) if counts is None \
+            else stacks.sum(axis=0) / counts
     return _one(y.astype(x.dtype))
 
 
@@ -372,7 +436,11 @@ _BINARY = {
 @_register(*_BINARY.keys())
 def _exec_binary(node: Node, ins):
     a, b = ins
-    return _one(np.asarray(_BINARY[node.op_type](a, b)).astype(a.dtype))
+    # promote like shape inference: floats win, else the left operand
+    a_float = np.issubdtype(a.dtype, np.floating)
+    b_float = np.issubdtype(b.dtype, np.floating)
+    dtype = a.dtype if a_float or not b_float else b.dtype
+    return _one(np.asarray(_BINARY[node.op_type](a, b)).astype(dtype))
 
 
 # ---------------------------------------------------------------------------
@@ -528,7 +596,10 @@ def _exec_where(node: Node, ins):
 # ---------------------------------------------------------------------------
 @_register("Shape")
 def _exec_shape(node: Node, ins):
-    return _one(np.asarray(ins[0].shape, dtype=np.int64))
+    rank = ins[0].ndim
+    start, end = _shape_slice_bounds(
+        rank, node.int_attr("start", 0), node.int_attr("end", rank))
+    return _one(np.asarray(ins[0].shape[start:end], dtype=np.int64))
 
 
 @_register("Reshape")
@@ -855,6 +926,15 @@ class Executor:
         self.rng = np.random.default_rng(seed)
         self._weights: Dict[str, np.ndarray] = {}
 
+    def _observe(self, node: Node, ins: List[Optional[np.ndarray]],
+                 outs: List[np.ndarray]) -> None:
+        """Per-node hook with the actual operands; default is a no-op.
+
+        Subclasses (the instrumented counting executor in
+        :mod:`repro.check`) override this to meter real work without
+        touching the execution path.
+        """
+
     def run(self, feeds: Dict[str, np.ndarray],
             fetch: Optional[Sequence[str]] = None) -> Dict[str, np.ndarray]:
         """Execute and return the requested tensors (default: graph outputs)."""
@@ -884,6 +964,7 @@ class Executor:
                 raise ExecutionError(
                     f"execution failed at {node.name or node.op_type!r}: {exc}"
                 ) from exc
+            self._observe(node, ins, outs)
             for oname, oval in zip(node.outputs, outs):
                 env[oname] = oval
         names = list(fetch) if fetch is not None else self.graph.output_names

@@ -41,7 +41,7 @@ from .executor import _EXEC
 from .fusion import CHAIN_BINARY, epilogue_token, match_silu
 from .graph import Graph, GraphError
 from .node import Node
-from .shape_inference import infer_shapes
+from .shape_inference import _shape_slice_bounds, infer_shapes
 from .tensor import DataType, Initializer, TensorInfo
 
 __all__ = ["fold_batchnorm", "eliminate_identities", "eliminate_dead_nodes",
@@ -113,9 +113,12 @@ def fold_batchnorm(graph: Graph, in_place: bool = False) -> Graph:
             g.add_initializer(Initializer(
                 TensorInfo(b_name, new_b.shape, DataType.FLOAT32), new_b))
             producer.inputs = [producer.inputs[0], w_name, b_name]
-            # splice the BN out
+            # splice the BN out; the conv adopts the *BN's* output name
+            # (its own old output had no other consumer, and the BN's
+            # name may be a declared graph output, which must survive)
             g.remove_nodes([bn])
-            _rename_consumers(g, bn.outputs[0], producer.outputs[0])
+            producer.outputs = [bn.outputs[0]]
+            g.invalidate()
             changed = True
             break
     infer_shapes(g)
@@ -130,11 +133,13 @@ def eliminate_identities(graph: Graph, in_place: bool = False) -> Graph:
             continue
         src = node.inputs[0]
         dst = node.outputs[0]
-        if dst in g.output_names and (g.is_graph_input(src)
-                                      or g.is_initializer(src)):
-            # cannot alias a graph output directly onto an input; keep it
-            # (skipping, rather than remove-and-readd, keeps the node
-            # order stable so the pass is idempotent)
+        if dst in g.output_names:
+            # declared output names are part of the graph's contract
+            # (callers fetch results by them), so a node producing one
+            # is never removed — removing it would either rename the
+            # output or alias it onto an input.  (Skipping, rather than
+            # remove-and-readd, keeps the node order stable so the pass
+            # is idempotent.)
             continue
         g.remove_nodes([node])
         _rename_consumers(g, dst, src)
@@ -268,8 +273,11 @@ def fold_shape_constants(graph: Graph, in_place: bool = False,
         if id(node) in doomed_ids:
             continue
         if node.op_type == "Shape":
-            results = [np.asarray(g.tensor(node.inputs[0]).shape,
-                                  dtype=np.int64)]
+            shape = g.tensor(node.inputs[0]).shape
+            start, end = _shape_slice_bounds(
+                len(shape), node.int_attr("start", 0),
+                node.int_attr("end", len(shape)))
+            results = [np.asarray(shape[start:end], dtype=np.int64)]
         else:
             inits = _const_inputs(node)
             if inits is None:
@@ -369,6 +377,9 @@ def strip_qdq(graph: Graph, in_place: bool = False) -> Graph:
             continue
         q = producers.get(dq.inputs[0])
         if q is None or q.op_type != "QuantizeLinear":
+            continue
+        if dq.outputs[0] in g.output_names:
+            # stripping would rename a declared graph output; keep the pair
             continue
         source = q.inputs[0]
         doomed.extend([q, dq])

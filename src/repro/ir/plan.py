@@ -58,8 +58,8 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from ..obs.trace import get_tracer
-from .executor import (ExecutionError, _EXEC, _fused_stages, _im2col,
-                       _resolve_pads_for_shape)
+from .executor import (ExecutionError, _EXEC, _avgpool_divisor, _fused_stages,
+                       _im2col, _pool_geometry, _resolve_pads_for_shape)
 from .graph import Graph
 from .node import Node
 from .passes import fold_shape_constants, optimize_graph
@@ -441,49 +441,41 @@ class ExecutionPlan:
         kernel = list(node.ints_attr("kernel_shape"))
         if len(kernel) != 2:
             return None
-        strides = list(node.ints_attr("strides")) or list(kernel)
-        dilations = list(node.ints_attr("dilations")) or [1] * len(kernel)
-        pads = _resolve_pads_for_shape(node, xs, kernel, strides, dilations)
+        # geometry (incl. ceil_mode overhang) and the AveragePool divisor
+        # grid depend only on static shapes: precompute both with the
+        # executor's own helpers so values match bit-for-bit
+        (kernel, strides, dilations, pads, outs, extras) = \
+            _pool_geometry(node, xs)
         kh, kw = kernel
         sh, sw = strides
+        dh, dw = dilations
         ph0, pw0, ph1, pw1 = pads
+        out_h, out_w = outs
+        eh, ew = extras
         n, c, h, w_dim = xs
         is_max = node.op_type == "MaxPool"
         fill = -np.inf if is_max else 0.0
-        out_h = (h + ph0 + ph1 - kh) // sh + 1
-        out_w = (w_dim + pw0 + pw1 - kw) // sw + 1
-        include_pad = bool(node.int_attr("count_include_pad", 0)) \
-            or (ph0 | ph1 | pw0 | pw1) == 0
         counts: Optional[np.ndarray] = None
-        if not is_max and not include_pad:
-            # the divisor grid depends only on shapes: precompute it with
-            # the legacy arithmetic so values match bit-for-bit
-            ones = np.zeros((1, 1, h + ph0 + ph1, w_dim + pw0 + pw1),
-                            dtype=np.float32)
-            ones[:, :, ph0:ph0 + h, pw0:pw0 + w_dim] = 1.0
-            counts = np.zeros((1, 1, out_h, out_w), dtype=np.float32)
-            for i in range(kh):
-                for j in range(kw):
-                    counts += ones[:, :, i:i + sh * out_h:sh,
-                                   j:j + sw * out_w:sw]
-            counts = np.maximum(counts, 1.0)
+        if not is_max:
+            counts = _avgpool_divisor(node, xs)
         x_name = node.inputs[0]
 
         def run(env: Dict[str, np.ndarray]) -> List[np.ndarray]:
             x = env[x_name]
             xp = self._buffer(("pool.xp", id(node)),
-                              (n, c, h + ph0 + ph1, w_dim + pw0 + pw1),
+                              (n, c, h + ph0 + ph1 + eh, w_dim + pw0 + pw1 + ew),
                               np.float32, fill=fill)
             xp[:, :, ph0:ph0 + h, pw0:pw0 + w_dim] = x
             stacks = self._buffer(("pool.stacks", id(node)),
                                   (kh * kw, n, c, out_h, out_w), np.float32)
             for i in range(kh):
                 for j in range(kw):
-                    stacks[i * kw + j] = xp[:, :, i:i + sh * out_h:sh,
-                                            j:j + sw * out_w:sw]
+                    hi, wj = i * dh, j * dw
+                    stacks[i * kw + j] = xp[:, :, hi:hi + sh * out_h:sh,
+                                            wj:wj + sw * out_w:sw]
             if is_max:
                 y = stacks.max(axis=0)
-            elif include_pad:
+            elif counts is None:
                 y = stacks.mean(axis=0)
             else:
                 y = stacks.sum(axis=0) / counts

@@ -127,6 +127,9 @@ def _spatial_attrs(node: Node, spatial_rank: int, kernel: Sequence[int]):
     if auto_pad in ("SAME_UPPER", "SAME_LOWER"):
         # resolved per-dimension by the callers via _same_pads
         pads = None  # type: ignore[assignment]
+    elif auto_pad == "VALID":
+        # VALID overrides any pads attribute (ONNX: "no padding")
+        pads = [0] * (2 * spatial_rank)
     return strides, dilations, pads, auto_pad
 
 
@@ -137,6 +140,33 @@ def _same_pads(in_size: int, kernel: int, stride: int, dilation: int, upper: boo
     if upper:
         return total // 2, total - total // 2
     return total - total // 2, total // 2
+
+
+def _pool_output_size(in_size: int, kernel: int, stride: int, dilation: int,
+                      pad_begin: int, pad_end: int, ceil_mode: int) -> int:
+    """One spatial dim of a pool output (shared with the executor/plans).
+
+    ``ceil_mode`` rounds up, but the last window must still start inside
+    the input or its begin padding — otherwise it would read end padding
+    only, so it is dropped (the ONNX/PyTorch rule).
+    """
+    eff_kernel = dilation * (kernel - 1) + 1
+    num = in_size + pad_begin + pad_end - eff_kernel
+    out = (math.ceil(num / stride) if ceil_mode else num // stride) + 1
+    if ceil_mode and (out - 1) * stride >= in_size + pad_begin:
+        out -= 1
+    return out
+
+
+def _shape_slice_bounds(rank: int, start: int, end: int):
+    """Clamped ``[start, end)`` dim range for ONNX ``Shape`` start/end."""
+    if start < 0:
+        start += rank
+    start = min(max(start, 0), rank)
+    if end < 0:
+        end += rank
+    end = min(max(end, 0), rank)
+    return start, max(start, end)
 
 
 @_register("Conv")
@@ -202,10 +232,9 @@ def _infer_pool(node: Node, ctx: _Ctx) -> None:
                                 dilations[i], auto_pad == "SAME_UPPER")
         else:
             pb, pe = pads[i], pads[spatial + i]
-        eff_kernel = dilations[i] * (kernel[i] - 1) + 1
-        num = x.shape[2 + i] + pb + pe - eff_kernel
-        out = (math.ceil(num / strides[i]) if ceil_mode else num // strides[i]) + 1
-        out_shape.append(out)
+        out_shape.append(_pool_output_size(
+            x.shape[2 + i], kernel[i], strides[i], dilations[i],
+            pb, pe, ceil_mode))
     _out(node, ctx, out_shape, x.dtype)
 
 
@@ -349,10 +378,8 @@ def _infer_where(node: Node, ctx: _Ctx) -> None:
 @_register("Shape")
 def _infer_shape_op(node: Node, ctx: _Ctx) -> None:
     x = ctx.info(node.inputs[0])
-    start = node.int_attr("start", 0) % max(1, x.rank) if node.attr("start") else 0
-    end = node.int_attr("end", x.rank)
-    if end < 0:
-        end += x.rank
+    start, end = _shape_slice_bounds(
+        x.rank, node.int_attr("start", 0), node.int_attr("end", x.rank))
     dims = np.asarray(x.shape[start:end], dtype=np.int64)
     _out(node, ctx, (len(dims),), DataType.INT64, dims)
 
@@ -391,7 +418,12 @@ def _infer_reshape(node: Node, ctx: _Ctx) -> None:
 @_register("Flatten")
 def _infer_flatten(node: Node, ctx: _Ctx) -> None:
     x = ctx.info(node.inputs[0])
-    axis = node.int_attr("axis", 1) % (x.rank + 1) if node.int_attr("axis", 1) < 0 else node.int_attr("axis", 1)
+    axis = node.int_attr("axis", 1)
+    if axis < 0:
+        axis += x.rank
+    if not 0 <= axis <= x.rank:
+        raise ShapeInferenceError(
+            f"Flatten: axis {node.int_attr('axis', 1)} out of range for rank {x.rank}")
     outer = math.prod(x.shape[:axis]) if axis else 1
     inner = math.prod(x.shape[axis:]) if axis < x.rank else 1
     _out(node, ctx, (outer, inner), x.dtype)
@@ -476,12 +508,19 @@ def _infer_slice(node: Node, ctx: _Ctx) -> None:
     for st, en, ax, sp in zip(starts, ends, axes, steps):
         ax = ax % x.rank
         dim = x.shape[ax]
-        st_c = max(st + dim, 0) if st < 0 else min(st, dim)
-        en_c = max(en + dim, -1) if en < 0 else min(en, dim)
+        if sp == 0:
+            raise ShapeInferenceError("Slice: step must be non-zero")
         if sp > 0:
-            out[ax] = max(0, math.ceil((en_c - st_c) / sp))
+            # start/end clamp to [0, dim]
+            st_c = max(st + dim, 0) if st < 0 else min(st, dim)
+            en_c = max(en + dim, 0) if en < 0 else min(en, dim)
         else:
-            out[ax] = max(0, math.ceil((en_c - st_c) / sp))
+            # negative step: start clamps to [-1, dim-1], end to [-1, dim-1]
+            # (-1 is the "before the beginning" sentinel, so e.g.
+            # starts=[dim], ends=[-dim-1], steps=[-1] reverses the axis)
+            st_c = max(st + dim, -1) if st < 0 else min(st, dim - 1)
+            en_c = max(en + dim, -1) if en < 0 else min(en, dim - 1)
+        out[ax] = max(0, math.ceil((en_c - st_c) / sp))
         slicers[ax] = slice(st, en, sp)
     val = ctx.const(node.inputs[0])
     _out(node, ctx, out, x.dtype, None if val is None else val[tuple(slicers)])

@@ -1,0 +1,52 @@
+"""Corpus replay: every minimized regression case must stay green."""
+from pathlib import Path
+
+import pytest
+
+from repro.check.corpus import load_corpus, replay_corpus, save_case
+from repro.check.fuzz import fuzz_graph
+from repro.ir.fingerprint import graph_fingerprint
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+def test_corpus_directory_is_populated():
+    cases = load_corpus(CORPUS_DIR)
+    assert len(cases) >= 13, "regression corpus is missing cases"
+
+
+@pytest.mark.parametrize(
+    "name", [p.stem for p in sorted(CORPUS_DIR.glob("*.json"))])
+def test_corpus_case_replays_clean(name):
+    _count, failures = replay_corpus_single(name)
+    assert not failures, "\n".join(f.describe() for f in failures)
+
+
+def replay_corpus_single(name):
+    """Replay one case through the full differential harness."""
+    from repro.check.fuzz import FuzzFailure, differential_check
+    cases = dict(load_corpus(CORPUS_DIR))
+    problems = differential_check(cases[name], seed=0)
+    failures = [FuzzFailure(0, 0, [f"corpus case {name!r}: {p}"
+                                   for p in problems])] if problems else []
+    return 1, failures
+
+
+def test_replay_reports_directory_total():
+    count, failures = replay_corpus(CORPUS_DIR, seed=0)
+    assert count == len(load_corpus(CORPUS_DIR))
+    assert not failures
+
+
+def test_missing_directory_is_empty_not_error(tmp_path):
+    count, failures = replay_corpus(tmp_path / "nope")
+    assert (count, failures) == (0, [])
+
+
+def test_save_case_roundtrip(tmp_path):
+    g = fuzz_graph(seed=0, index=0)
+    path = tmp_path / "sub" / "case.json"
+    save_case(g, path)
+    cases = load_corpus(tmp_path / "sub")
+    assert len(cases) == 1
+    assert graph_fingerprint(cases[0][1]) == graph_fingerprint(g)

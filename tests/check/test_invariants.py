@@ -1,0 +1,69 @@
+"""Invariant checks on small hand-built graphs plus one zoo model."""
+import numpy as np
+
+from repro.check.counting import CountingExecutor
+from repro.check.invariants import (check_cache_roundtrip,
+                                    check_cost_additivity,
+                                    check_counting_executor,
+                                    check_mapping_bijectivity, run_invariants)
+from repro.ir.builder import GraphBuilder
+from repro.models.registry import build_model
+
+
+def small_block():
+    b = GraphBuilder("block")
+    x = b.input("x", (1, 3, 16, 16))
+    y = b.conv(x, 8, 3, padding=1, name="conv1")
+    y = b.batchnorm(y, name="bn1")
+    y = b.relu(y)
+    y = b.conv(y, 8, 3, padding=1, name="conv2")
+    return b.finish(b.relu(y))
+
+
+class TestIndividualChecks:
+    def test_mapping_bijectivity(self):
+        r = check_mapping_bijectivity(small_block())
+        assert r.ok, r.detail
+
+    def test_cost_additivity(self):
+        r = check_cost_additivity(small_block())
+        assert r.ok, r.detail
+
+    def test_cache_roundtrip(self):
+        r = check_cache_roundtrip(small_block())
+        assert r.ok, r.detail
+
+    def test_counting_executor(self):
+        r = check_counting_executor(small_block())
+        assert r.ok, r.detail
+
+
+class TestCountingExecutor:
+    def test_conv_macs_counted_from_actual_operands(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 2, 8, 8))
+        y = b.conv(x, 4, 3, padding=1, bias=False, name="conv")
+        g = b.finish(y)
+        ex = CountingExecutor(g)
+        ex.run({"x": np.ones((1, 2, 8, 8), dtype=np.float32)})
+        # 2 * out_elems * Cin * Kh * Kw = 2 * (1*4*8*8) * 2*3*3
+        assert ex.flop == 2 * (4 * 8 * 8) * 2 * 3 * 3
+        assert ex.nodes_observed == 1
+        assert ex.read_bytes > 0 and ex.write_bytes > 0
+
+    def test_every_node_observed(self):
+        g = small_block()
+        ex = CountingExecutor(g)
+        ex.run({"x": np.random.default_rng(0).standard_normal(
+            (1, 3, 16, 16)).astype(np.float32)})
+        assert ex.nodes_observed == len(g.nodes)
+        assert set(ex.by_op_type) == {n.op_type for n in g.nodes}
+
+
+class TestZooModel:
+    def test_all_invariants_on_tiny_resnet(self):
+        g = build_model("resnet50", batch_size=1, image_size=32)
+        results = run_invariants({"resnet50": g})
+        assert len(results) == 4
+        for r in results:
+            assert r.ok, r.describe()

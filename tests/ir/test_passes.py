@@ -419,3 +419,80 @@ class TestOptimizeGraphPipeline:
             once = optimize_graph(g, level=level)
             twice = optimize_graph(once, level=level)
             assert graph_fingerprint(twice) == graph_fingerprint(once)
+
+
+class TestGraphOutputContract:
+    """Declared graph-output *names* are part of the graph's contract:
+    no pass may rename or drop them.  The identity and batchnorm cases
+    below were found by the differential fuzzer (``proof check``) —
+    their minimized twins live in ``tests/check/corpus/``."""
+
+    def test_identity_alias_of_shared_tensor_survives(self):
+        # the Identity's source feeds another consumer AND the Identity
+        # output is itself a declared graph output; eliminating the node
+        # used to rename (i.e. drop) that output
+        b = GraphBuilder("g")
+        x = b.input("x", (4,))
+        mid = b.relu(x)
+        alias = b.node("Identity", [mid])
+        neg = b.node("Neg", [mid])
+        b.output(alias)
+        g = b.finish(neg)
+        slim = eliminate_identities(g)
+        assert set(slim.output_names) == set(g.output_names)
+        v = np.asarray([-1, 2, -3, 4], np.float32)
+        want = execute(g, {"x": v})
+        have = execute(slim, {"x": v})
+        for name in g.output_names:
+            np.testing.assert_array_equal(have[name], want[name])
+
+    def test_bn_fold_keeps_declared_output_name(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 8, 8))
+        y = b.conv(x, 4, 3, padding=1, name="conv")
+        y = b.batchnorm(y, name="bn")
+        g = b.finish(y)                         # BN output IS the output
+        baseline = run(g)
+        folded = fold_batchnorm(g)
+        assert folded.op_type_histogram().get("BatchNormalization", 0) == 0
+        assert folded.output_names == g.output_names
+        np.testing.assert_allclose(run(folded), baseline, rtol=1e-4,
+                                   atol=1e-5)
+
+    def test_cse_executes_both_duplicate_outputs(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (4,))
+        a1 = b.relu(x)
+        a2 = b.relu(x)
+        b.output(a1)
+        g = b.finish(a2)
+        slim = eliminate_common_subexpressions(g)
+        assert set(slim.output_names) == set(g.output_names)
+        v = np.asarray([-1, 2, -3, 4], np.float32)
+        outs = execute(slim, {"x": v})
+        for name in g.output_names:
+            np.testing.assert_array_equal(outs[name], np.maximum(v, 0))
+
+    def test_dce_keeps_interior_graph_output(self):
+        # an intermediate tensor promoted to graph output keeps its
+        # producer alive even though it is also consumed downstream
+        b = GraphBuilder("g")
+        x = b.input("x", (4,))
+        mid = b.relu(x)
+        b.output(mid)
+        g = b.finish(b.sigmoid(mid))
+        slim = eliminate_dead_nodes(g)
+        assert slim.op_type_histogram() == {"Relu": 1, "Sigmoid": 1}
+        assert set(slim.output_names) == set(g.output_names)
+
+    def test_full_pipeline_preserves_output_names(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 8, 8))
+        y = b.conv(x, 4, 3, padding=1, name="conv")
+        y = b.batchnorm(y, name="bn")
+        alias = b.node("Identity", [y])
+        b.output(alias)
+        g = b.finish(b.relu(y))
+        for level in OPTIMIZE_LEVELS:
+            opt = optimize_graph(g, level=level)
+            assert set(opt.output_names) == set(g.output_names), level

@@ -93,3 +93,40 @@ def test_invalid_bounds_rejected():
         ResultCache(max_bytes=0)
     with pytest.raises(ValueError):
         ResultCache(max_entries=0)
+
+
+def test_overwrite_accounts_only_new_entry_bytes(make_report):
+    # overwriting a key must replace its byte charge, not accumulate it
+    small = make_report("a")
+    big = make_report("a-much-longer-model-name-padding-the-payload")
+    probe = ResultCache()
+    probe.put("k", big)
+    big_bytes = probe.stats().bytes
+
+    cache = ResultCache()
+    cache.put("k", small)
+    small_bytes = cache.stats().bytes
+    assert small_bytes < big_bytes
+    cache.put("k", big)                     # grow in place
+    assert cache.stats().bytes == big_bytes
+    cache.put("k", small)                   # shrink in place
+    assert cache.stats().bytes == small_bytes
+    assert len(cache) == 1
+
+
+def test_oversized_report_leaves_zeroed_consistent_state(make_report):
+    probe = ResultCache()
+    probe.put("s", make_report("s"))
+    one = probe.stats().bytes
+
+    cache = ResultCache(max_bytes=int(one * 1.2))
+    oversized = make_report("x" * 4096)     # single report > max_bytes
+    cache.put("huge", oversized)
+    stats = cache.stats()
+    assert len(cache) == 0
+    assert stats.bytes == 0                 # accounting back to zero
+    assert stats.evictions == 1
+    # the cache must still accept reports that do fit
+    cache.put("s", make_report("s"))
+    assert "s" in cache
+    assert cache.stats().bytes <= cache.max_bytes

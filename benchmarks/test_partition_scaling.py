@@ -1,0 +1,125 @@
+"""Benchmark: multi-device partitioned-execution profiling cost and
+scaling shapes (repro.distribution).
+
+Two claims:
+
+* the whole partition + schedule + analyze pipeline is cheap — on an
+  already-profiled model a full ``profile_partitioned`` sweep over
+  N in {2,4,8} x three strategies stays far below re-profiling cost;
+* the scaling *shapes* hold: NVLink pipeline efficiency dominates PCIe
+  tensor efficiency at every N, and PCIe tensor parallelism goes
+  communication-dominated at N=8.
+
+Correctness rides along in smoke mode too (``PROOF_BENCH_SMOKE=1``):
+conservation and efficiency bounds for every (strategy, N).  Timing
+runs refresh ``BENCH_partition.json`` at the repo root.
+"""
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.profiler import Profiler
+from repro.distribution import NVLINK, PCIE_GEN4, profile_partitioned
+from repro.models.registry import build_model
+
+SMOKE = os.environ.get("PROOF_BENCH_SMOKE") == "1"
+BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_partition.json")
+
+MODEL = "resnet50"
+BATCH = 32
+DEVICE_COUNTS = (2, 4, 8)
+STRATEGIES = ("pipeline", "tensor", "hybrid")
+REPS = 3
+
+
+@pytest.fixture(scope="module")
+def report():
+    return Profiler("trt-sim", "a100", "fp16").profile(
+        build_model(MODEL, batch_size=BATCH))
+
+
+def _update_bench(section, payload):
+    doc = {}
+    if os.path.exists(BENCH_PATH):
+        with open(BENCH_PATH, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    doc["benchmark"] = "partition_scaling"
+    doc[section] = payload
+    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# correctness (runs in smoke mode too)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("n", DEVICE_COUNTS)
+def test_conservation_and_bounds(report, strategy, n):
+    dist, plan, _ = profile_partitioned(report, n, strategy=strategy)
+    base = (sum(l.flop for l in report.layers),
+            sum(l.read_bytes for l in report.layers),
+            sum(l.write_bytes for l in report.layers))
+    for got, want in zip(plan.totals(), base):
+        assert got == pytest.approx(want, rel=1e-9)
+    assert 0.0 < dist.parallel_efficiency <= 1.0
+    assert 0.0 <= dist.communication_fraction < 1.0
+
+
+def test_scaling_shapes(report):
+    """NVLink pipeline beats PCIe tensor; PCIe tensor is comm-heavy."""
+    shapes = {}
+    for n in DEVICE_COUNTS:
+        nv, _, _ = profile_partitioned(report, n, strategy="pipeline",
+                                       link=NVLINK)
+        pt, _, _ = profile_partitioned(report, n, strategy="tensor",
+                                       link=PCIE_GEN4)
+        assert nv.parallel_efficiency > pt.parallel_efficiency
+        shapes[n] = {"nvlink_pipeline_eff": nv.parallel_efficiency,
+                     "pcie_tensor_eff": pt.parallel_efficiency,
+                     "pcie_tensor_comm": pt.communication_fraction}
+    assert shapes[8]["pcie_tensor_comm"] > 0.5
+
+
+# ----------------------------------------------------------------------
+# timing floor (skipped in smoke mode)
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(SMOKE, reason="PROOF_BENCH_SMOKE=1: correctness only")
+def test_partition_sweep_is_cheap(report):
+    """A 9-configuration sweep must cost less than one (cold) profile —
+    distribution what-ifs reuse the profile, they don't redo analysis."""
+    graph = build_model(MODEL, batch_size=BATCH)
+    t0 = time.perf_counter()
+    Profiler("trt-sim", "a100", "fp16", analysis_cache=False).profile(graph)
+    profile_cost = time.perf_counter() - t0
+
+    def sweep():
+        rows = {}
+        for strategy in STRATEGIES:
+            for n in DEVICE_COUNTS:
+                dist, _, _ = profile_partitioned(report, n,
+                                                 strategy=strategy)
+                rows[f"{strategy}@{n}"] = {
+                    "efficiency": round(dist.parallel_efficiency, 4),
+                    "speedup": round(dist.throughput_speedup, 3),
+                    "comm_fraction": round(dist.communication_fraction, 4),
+                }
+        return rows
+
+    rows = sweep()
+    times = []
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        sweep()
+        times.append(time.perf_counter() - t0)
+    best = min(times)
+    _update_bench("sweep", {
+        "model": MODEL, "batch": BATCH, "reps": REPS,
+        "profile_ms": round(profile_cost * 1e3, 3),
+        "sweep_ms": round(best * 1e3, 3),
+        "configs": rows})
+    assert best < profile_cost, \
+        "partition sweep should be cheaper than one model profile"

@@ -21,7 +21,8 @@ from .fuzz import (FuzzFailure, FuzzSummary, O2_RTOL, differential_check,
                    fuzz_graph, make_feeds, run_fuzz)
 from .invariants import (InvariantResult, check_cache_roundtrip,
                          check_cost_additivity, check_counting_executor,
-                         check_mapping_bijectivity, run_invariants)
+                         check_mapping_bijectivity,
+                         check_partition_conservation, run_invariants)
 from .runner import DEFAULT_MODELS, CheckReport, run_check
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "FuzzFailure", "FuzzSummary", "O2_RTOL", "differential_check",
     "fuzz_graph", "make_feeds", "run_fuzz",
     "InvariantResult", "check_cache_roundtrip", "check_cost_additivity",
-    "check_counting_executor", "check_mapping_bijectivity", "run_invariants",
+    "check_counting_executor", "check_mapping_bijectivity",
+    "check_partition_conservation", "run_invariants",
     "DEFAULT_MODELS", "CheckReport", "run_check",
 ]

@@ -15,7 +15,10 @@ bijective mapping and Table-4 FLOP validation):
   cold, cache-free run;
 - **counting executor** — the instrumented executor's measured
   FLOP/byte totals match the analytical prediction within Table-4-style
-  relative bounds.
+  relative bounds;
+- **partition conservation** — every ``repro.distribution`` strategy's
+  per-device FLOP/byte totals sum back to the single-device profile
+  (partitioning moves work, it never creates or destroys it).
 """
 from __future__ import annotations
 
@@ -35,7 +38,8 @@ from .fuzz import make_feeds
 
 __all__ = ["InvariantResult", "check_mapping_bijectivity",
            "check_cost_additivity", "check_cache_roundtrip",
-           "check_counting_executor", "run_invariants"]
+           "check_counting_executor", "check_partition_conservation",
+           "run_invariants"]
 
 #: Table-4 style relative bound for measured-vs-predicted FLOPs
 FLOP_RTOL = 0.02
@@ -176,6 +180,30 @@ def check_counting_executor(graph: Graph, rtol: float = FLOP_RTOL,
                            "; ".join(problems))
 
 
+def check_partition_conservation(graph: Graph, backend: str = "trt-sim",
+                                 platform: str = "a100",
+                                 precision: str = "fp16",
+                                 num_devices: int = 4) -> InvariantResult:
+    """Every partitioning strategy conserves FLOP/read/write totals."""
+    from ..distribution import partition_report
+    prof = _profiler(backend, platform, precision, AnalysisCache())
+    report = prof.profile(graph)
+    base = (sum(l.flop for l in report.layers),
+            sum(l.read_bytes for l in report.layers),
+            sum(l.write_bytes for l in report.layers))
+    problems: List[str] = []
+    for strategy in ("pipeline", "tensor", "hybrid"):
+        plan = partition_report(report, num_devices, strategy=strategy)
+        for label, got, want in zip(("flop", "read", "write"),
+                                    plan.totals(), base):
+            if abs(got - want) > 1e-6 * max(1.0, want):
+                problems.append(
+                    f"{strategy}: device-summed {label} {got:.6g} != "
+                    f"single-device {want:.6g}")
+    return InvariantResult("partition-conservation", graph.name,
+                           not problems, "; ".join(problems[:3]))
+
+
 def run_invariants(graphs: Dict[str, Graph], backend: str = "trt-sim",
                    platform: str = "a100", precision: str = "fp16",
                    execute: bool = True,
@@ -196,6 +224,8 @@ def run_invariants(graphs: Dict[str, Graph], backend: str = "trt-sim",
                                              precision))
         results.append(check_cache_roundtrip(graph, backend, platform,
                                              precision))
+        results.append(check_partition_conservation(graph, backend,
+                                                    platform, precision))
         if execute:
             results.append(check_counting_executor(graph))
     return results

@@ -10,9 +10,13 @@ from .sweep import BatchSweep, SweepPoint, sweep_batch_sizes
 from .insights import Insight, Severity, analyze, format_insights
 from .hierarchy import ModuleProfile, aggregate, format_modules
 from .diff import ReportDiff, diff_reports, format_diff
-from .distributed import (NVLINK, PCIE_GEN4, Interconnect,
-                          PipelineEstimate, TensorParallelEstimate,
-                          estimate_pipeline, estimate_tensor_parallel)
+# distributed estimation moved to repro.distribution; these re-exports
+# stay for compatibility (repro.core.distributed is a deprecated shim)
+from ..distribution.estimators import (PipelineEstimate,
+                                       TensorParallelEstimate,
+                                       estimate_pipeline,
+                                       estimate_tensor_parallel)
+from ..distribution.topology import NVLINK, PCIE_GEN4, Interconnect
 
 __all__ = [
     "EndToEnd", "LayerProfile", "MetricSource", "ProfileReport",

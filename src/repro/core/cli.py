@@ -8,6 +8,7 @@ Examples::
     proof peak --platform orin-nx
     proof serve --port 8080 --workers 4 --cache-mb 64
     proof batch resnet50 vit-tiny --repeat 2
+    proof partition mobilenetv2-10 --devices 4 --strategy pipeline
     proof check --fuzz 200 --seed 0
     proof list
 """
@@ -136,6 +137,44 @@ def build_parser() -> argparse.ArgumentParser:
                      help="submit the list this many times "
                           "(repeats exercise the result cache)")
     _add_obs_args(bat)
+
+    par = sub.add_parser(
+        "partition",
+        help="profile multi-device partitioned execution "
+             "(repro.distribution)")
+    par.add_argument("model", choices=sorted(MODEL_ZOO))
+    par.add_argument("--devices", type=int, default=4, metavar="N",
+                     help="number of identical devices (default 4)")
+    par.add_argument("--strategy", default="pipeline",
+                     choices=["pipeline", "tensor", "hybrid"])
+    par.add_argument("--link", default="auto",
+                     help="interconnect: auto (platform default), "
+                          "nvlink, pcie, pcie3, gige, or a full link "
+                          "name (see repro.distribution.topology)")
+    par.add_argument("--topology", default="ring",
+                     choices=["ring", "fully-connected", "host-bridged"],
+                     help="device topology (host-bridged models a "
+                          "contended PCIe host bridge)")
+    par.add_argument("--platform", default="a100", choices=sorted(PLATFORMS))
+    par.add_argument("--backend", default="trt-sim", choices=sorted(BACKENDS))
+    par.add_argument("--precision", default="fp16",
+                     choices=["fp32", "fp16", "int8"])
+    par.add_argument("--batch", type=int, default=32)
+    par.add_argument("--microbatches", type=int, default=None,
+                     help="micro-batches to simulate "
+                          "(default 2 x pipeline stages)")
+    par.add_argument("--top", type=int, default=12,
+                     help="communication-bound layers to list (0 = all)")
+    par.add_argument("--timeline", action="store_true",
+                     help="print the ASCII per-device timeline")
+    par.add_argument("--json", metavar="PATH",
+                     help="write the distribution report as JSON")
+    par.add_argument("--svg", metavar="PATH",
+                     help="write the per-device roofline chart as SVG "
+                          "(and <PATH>.timeline.svg with the Gantt)")
+    par.add_argument("--html", metavar="PATH",
+                     help="write the standalone visual report as HTML")
+    _add_obs_args(par)
 
     chk = sub.add_parser(
         "check",
@@ -336,6 +375,59 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from ..distribution import (format_distribution_report,
+                                format_timeline_text, link_by_name,
+                                make_topology, profile_partitioned,
+                                render_device_rooflines_svg,
+                                render_distribution_html,
+                                render_timeline_svg)
+    from ..hardware.specs import platform as _platform
+    graph = build_model(args.model, batch_size=args.batch)
+    profiler = Profiler(args.backend, args.platform, args.precision)
+    try:
+        report = profiler.profile(graph)
+    except UnsupportedModelError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    spec = _platform(args.platform)
+    if args.link == "auto":
+        from ..distribution import default_link
+        link = default_link(spec)
+    else:
+        try:
+            link = link_by_name(args.link)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    topology = make_topology(args.topology, args.devices, link)
+    dist, plan, sched = profile_partitioned(
+        report, args.devices, strategy=args.strategy, spec=spec,
+        topology=topology, microbatches=args.microbatches)
+    print(format_distribution_report(dist, top=args.top or None))
+    if args.timeline:
+        print()
+        print(format_timeline_text(sched))
+    if args.json:
+        dist.save(args.json)
+        print(f"\ndistribution report written to {args.json}")
+    if args.svg:
+        title = (f"{dist.model_name} x{dist.num_devices} "
+                 f"({dist.strategy}, {dist.link_name})")
+        with open(args.svg, "w", encoding="utf-8") as fh:
+            fh.write(render_device_rooflines_svg(dist, title=title))
+        tpath = f"{args.svg}.timeline.svg"
+        with open(tpath, "w", encoding="utf-8") as fh:
+            fh.write(render_timeline_svg(sched, title=title))
+        print(f"device rooflines written to {args.svg}; "
+              f"timeline to {tpath}")
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_distribution_html(dist, sched))
+        print(f"visual report written to {args.html}")
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -374,7 +466,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"run": _cmd_run, "peak": _cmd_peak, "list": _cmd_list,
                 "sweep": _cmd_sweep, "serve": _cmd_serve,
-                "batch": _cmd_batch, "check": _cmd_check}
+                "batch": _cmd_batch, "check": _cmd_check,
+                "partition": _cmd_partition}
     if getattr(args, "log_level", None):
         configure_logging(args.log_level)
     trace_path = getattr(args, "trace", None)

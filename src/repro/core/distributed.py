@@ -1,257 +1,33 @@
-"""Distributed-inference estimation (the paper's stated future work).
+"""Deprecated alias — the estimators moved to :mod:`repro.distribution`.
 
-§5: "with the increasing popularity of large-scale inference, we aim to
-investigate the adaptation of PRoof to distributed environments."  This
-module is that adaptation, built on the same per-layer profiles:
+This module was the seed's two coarse closed-form distributed
+estimators.  They now live in :mod:`repro.distribution.estimators`
+(with a corrected ring all-reduce that charges per-hop latency on every
+round) alongside the full partition/schedule/analysis subsystem; the
+link constants live in :mod:`repro.distribution.topology`.
 
-* **pipeline parallelism** — partition the backend-layer sequence into
-  N contiguous stages (balanced by a linear-time DP over per-layer
-  latencies), each stage on its own device; steady-state throughput is
-  set by the slowest stage plus the activation transfer between
-  consecutive stages over the interconnect;
-* **tensor parallelism** — shard every matrix layer across N devices
-  (compute and weight traffic divide by N; activations replicate),
-  pairing consecutive sharded layers Megatron-style (column-parallel
-  then row-parallel) so only every second sharded layer pays a ring
-  all-reduce of its output, at ``2·(N−1)/N · bytes / link_bw``.
-
-Both estimators report per-device utilization and the parallel
-efficiency against the single-device profile, so the roofline story
-extends to multi-GPU serving.
+Importing this module keeps working but emits a
+:class:`DeprecationWarning`; new code should import from
+``repro.distribution``.
 """
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+import warnings
 
-from ..analysis.opdefs import OpClass
-from .report import LayerProfile, ProfileReport
+from ..distribution.estimators import (PipelineEstimate, PipelineStage,
+                                       TensorParallelEstimate,
+                                       _split_balanced, estimate_pipeline,
+                                       estimate_tensor_parallel)
+from ..distribution.partition import (SHARDABLE_CLASSES as _SHARDABLE,
+                                      SHARDABLE_LOCAL_CLASSES
+                                      as _SHARDABLE_LOCAL)
+from ..distribution.topology import NVLINK, PCIE_GEN4, Interconnect
 
 __all__ = ["Interconnect", "NVLINK", "PCIE_GEN4", "PipelineStage",
            "PipelineEstimate", "TensorParallelEstimate",
            "estimate_pipeline", "estimate_tensor_parallel"]
 
-
-@dataclass(frozen=True)
-class Interconnect:
-    """A device-to-device link."""
-
-    name: str
-    bandwidth: float          # bytes/s per direction
-    latency_seconds: float    # per-message fixed cost
-
-    def transfer_seconds(self, nbytes: float) -> float:
-        if nbytes < 0:
-            raise ValueError("negative transfer size")
-        if nbytes == 0:
-            return 0.0
-        return self.latency_seconds + nbytes / self.bandwidth
-
-
-#: NVLink 3 (A100): ~300 GB/s effective per direction
-NVLINK = Interconnect("nvlink3", 300e9, 5e-6)
-#: PCIe 4.0 x16: ~25 GB/s effective
-PCIE_GEN4 = Interconnect("pcie-gen4-x16", 25e9, 1e-5)
-
-
-@dataclass
-class PipelineStage:
-    device: int
-    layers: List[LayerProfile]
-    compute_seconds: float
-    #: bytes handed to the next stage (0 for the last)
-    egress_bytes: float = 0.0
-    transfer_seconds: float = 0.0
-
-    @property
-    def stage_seconds(self) -> float:
-        return self.compute_seconds + self.transfer_seconds
-
-
-@dataclass
-class PipelineEstimate:
-    """Steady-state pipeline execution of one model."""
-
-    num_devices: int
-    interconnect: Interconnect
-    stages: List[PipelineStage]
-    single_device_seconds: float
-
-    @property
-    def iteration_seconds(self) -> float:
-        """Steady-state time per batch: the bottleneck stage."""
-        return max(s.stage_seconds for s in self.stages)
-
-    @property
-    def fill_latency_seconds(self) -> float:
-        """First-batch latency: the whole pipe must fill."""
-        return sum(s.stage_seconds for s in self.stages)
-
-    @property
-    def throughput_speedup(self) -> float:
-        return self.single_device_seconds / self.iteration_seconds
-
-    @property
-    def parallel_efficiency(self) -> float:
-        return self.throughput_speedup / self.num_devices
-
-    @property
-    def bubble_fraction(self) -> float:
-        """Idle share of device-time from stage imbalance + transfers."""
-        busy = sum(s.compute_seconds for s in self.stages)
-        total = self.iteration_seconds * self.num_devices
-        return 1.0 - busy / total if total > 0 else 0.0
-
-
-def _split_balanced(latencies: Sequence[float], n: int) -> List[int]:
-    """Boundaries minimizing the max stage sum (binary search over the
-    bottleneck + greedy feasibility check)."""
-    total = sum(latencies)
-    lo, hi = max(latencies), total
-    best: Optional[List[int]] = None
-    for _ in range(48):
-        mid = (lo + hi) / 2
-        cuts: List[int] = []
-        acc = 0.0
-        feasible = True
-        for i, lat in enumerate(latencies):
-            if acc + lat > mid:
-                cuts.append(i)
-                acc = lat
-                if len(cuts) > n - 1:
-                    feasible = False
-                    break
-            else:
-                acc += lat
-        if feasible:
-            best = cuts
-            hi = mid
-        else:
-            lo = mid
-    if best is None:
-        best = []
-    while len(best) < n - 1:   # degenerate: more devices than needed
-        best.append(len(latencies))
-    return best
-
-
-def estimate_pipeline(report: ProfileReport, num_devices: int,
-                      interconnect: Interconnect = NVLINK
-                      ) -> PipelineEstimate:
-    """Partition a profiled model into a balanced pipeline."""
-    if num_devices < 1:
-        raise ValueError("need at least one device")
-    layers = report.layers
-    if not layers:
-        raise ValueError("report has no layers")
-    lats = [l.latency_seconds for l in layers]
-    cuts = _split_balanced(lats, num_devices)
-    bounds = [0] + list(cuts) + [len(layers)]
-    stages: List[PipelineStage] = []
-    for d in range(num_devices):
-        chunk = layers[bounds[d]:bounds[d + 1]]
-        stage = PipelineStage(
-            device=d,
-            layers=chunk,
-            compute_seconds=sum(l.latency_seconds for l in chunk),
-        )
-        stages.append(stage)
-    # stage egress: the activation the next stage consumes ~ the last
-    # layer's written bytes (a conservative single-tensor estimate)
-    for d in range(num_devices - 1):
-        chunk = stages[d].layers
-        egress = chunk[-1].write_bytes if chunk else 0.0
-        stages[d].egress_bytes = egress
-        stages[d].transfer_seconds = interconnect.transfer_seconds(egress)
-    return PipelineEstimate(
-        num_devices=num_devices,
-        interconnect=interconnect,
-        stages=stages,
-        single_device_seconds=report.end_to_end.latency_seconds,
-    )
-
-
-#: matrix classes sharded column/row-parallel — these pay the paired
-#: all-reduce
-_SHARDABLE = {OpClass.MATMUL.value, OpClass.CONV.value,
-              OpClass.POINTWISE_CONV.value}
-
-#: classes that shard head-/channel-parallel with purely local work
-#: (attention softmax and plumbing operate per head; elementwise and
-#: depthwise work is channel-local)
-_SHARDABLE_LOCAL = {OpClass.SOFTMAX.value, OpClass.ELEMENTWISE.value,
-                    OpClass.DATA_MOVEMENT.value,
-                    OpClass.DEPTHWISE_CONV.value, OpClass.REDUCTION.value}
-
-
-@dataclass
-class TensorParallelEstimate:
-    """Megatron-style sharding of the matrix layers."""
-
-    num_devices: int
-    interconnect: Interconnect
-    per_device_seconds: float
-    allreduce_seconds: float
-    single_device_seconds: float
-    sharded_layer_count: int
-    replicated_seconds: float
-
-    @property
-    def iteration_seconds(self) -> float:
-        return self.per_device_seconds + self.allreduce_seconds
-
-    @property
-    def latency_speedup(self) -> float:
-        return self.single_device_seconds / self.iteration_seconds
-
-    @property
-    def parallel_efficiency(self) -> float:
-        return self.latency_speedup / self.num_devices
-
-    @property
-    def communication_fraction(self) -> float:
-        return self.allreduce_seconds / self.iteration_seconds \
-            if self.iteration_seconds > 0 else 0.0
-
-
-def estimate_tensor_parallel(report: ProfileReport, num_devices: int,
-                             interconnect: Interconnect = NVLINK
-                             ) -> TensorParallelEstimate:
-    """Shard matrix layers N ways; non-matrix layers replicate."""
-    if num_devices < 1:
-        raise ValueError("need at least one device")
-    sharded = 0.0
-    replicated = 0.0
-    allreduce = 0.0
-    count = 0
-    ring = 2.0 * (num_devices - 1) / num_devices if num_devices > 1 else 0.0
-    for l in report.layers:
-        if l.op_class in _SHARDABLE and num_devices > 1:
-            sharded += l.latency_seconds / num_devices
-            count += 1
-            # Megatron pairing: the column-parallel half needs no
-            # communication; the row-parallel half all-reduces its output
-            if count % 2 == 0 and l.write_bytes:
-                allreduce += interconnect.transfer_seconds(
-                    l.write_bytes * ring)
-        elif l.op_class in _SHARDABLE_LOCAL and l.kind == "execution" \
-                and num_devices > 1:
-            sharded += l.latency_seconds / num_devices
-        else:
-            # LayerNorm, embeddings, reformat copies replicate
-            replicated += l.latency_seconds
-    if num_devices > 1 and count % 2 == 1:
-        # an unpaired trailing sharded layer still reduces
-        last = next(l for l in reversed(report.layers)
-                    if l.op_class in _SHARDABLE)
-        allreduce += interconnect.transfer_seconds(last.write_bytes * ring)
-    return TensorParallelEstimate(
-        num_devices=num_devices,
-        interconnect=interconnect,
-        per_device_seconds=sharded + replicated,
-        allreduce_seconds=allreduce,
-        single_device_seconds=report.end_to_end.latency_seconds,
-        sharded_layer_count=count,
-        replicated_seconds=replicated,
-    )
+warnings.warn(
+    "repro.core.distributed is deprecated; import from "
+    "repro.distribution instead",
+    DeprecationWarning, stacklevel=2)

@@ -1,0 +1,386 @@
+"""Distribution analysis: per-device + aggregate rooflines, boundedness.
+
+Turns a :class:`~repro.distribution.partition.PartitionPlan` plus its
+:class:`~repro.distribution.schedule.ScheduleResult` into a
+:class:`DistributionReport`:
+
+* **per-device rooflines** — each simulated device is one copy of the
+  platform, so its ceilings are the single-device ones; its point is
+  (device AI, device achieved FLOP/s over the steady-state iteration),
+  following the per-level→per-device generalization of hierarchical
+  roofline analysis;
+* **aggregate roofline** — the cluster ceiling is N × the device
+  ceilings; the aggregate point is total useful FLOP over the
+  iteration, so rising communication/bubble time drags the point down
+  the cluster envelope;
+* **boundedness classification** — each layer (and each device) is
+  ``compute``-, ``memory``- or ``communication``-bound: communication
+  wins when the layer's attributed transfer/collective time exceeds its
+  compute time, otherwise its single-device AI against the ridge
+  decides.  This is the number that flips as N grows on slow links.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.roofline import Roofline, RooflinePoint
+from ..hardware.specs import HardwareSpec
+from ..ir.tensor import DataType
+from .partition import PartitionPlan, partition_report
+from .schedule import ScheduleResult, simulate
+from .topology import Interconnect, Topology
+
+__all__ = ["DeviceProfile", "PartitionedLayer", "DistributionReport",
+           "analyze_partition", "profile_partitioned",
+           "BOUND_COMPUTE", "BOUND_MEMORY", "BOUND_COMMUNICATION"]
+
+BOUND_COMPUTE = "compute"
+BOUND_MEMORY = "memory"
+BOUND_COMMUNICATION = "communication"
+
+
+def _classify(ai: float, ridge: float, compute_seconds: float,
+              comm_seconds: float) -> str:
+    if comm_seconds > compute_seconds and comm_seconds > 0:
+        return BOUND_COMMUNICATION
+    return BOUND_COMPUTE if ai >= ridge else BOUND_MEMORY
+
+
+@dataclass
+class DeviceProfile:
+    """One device's aggregate over the simulated run."""
+
+    device: int
+    stage: int
+    shard: int
+    #: unique-work share per micro-batch
+    flop: float
+    read_bytes: float
+    write_bytes: float
+    compute_seconds: float      # per micro-batch
+    comm_seconds: float         # per micro-batch (collectives + sends)
+    idle_fraction: float        # of the simulated span
+    #: roofline point over the steady-state iteration
+    arithmetic_intensity: float
+    achieved_flops: float
+    achieved_bandwidth: float
+    bound: str
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+
+@dataclass
+class PartitionedLayer:
+    """One backend layer's fate under the partitioning."""
+
+    name: str
+    op_class: str
+    stage: int
+    #: devices executing (a share of) the layer
+    devices: List[int]
+    #: summed over devices — equals the single-device figures
+    flop: float
+    memory_bytes: float
+    #: per-device wall time (slowest share)
+    compute_seconds: float
+    #: communication attributed to the layer (collective or egress)
+    comm_seconds: float
+    arithmetic_intensity: float
+    bound: str
+    replicated: bool = False
+
+
+@dataclass
+class DistributionReport:
+    """Full output of one partitioned-execution profiling run."""
+
+    model_name: str
+    backend_name: str
+    platform_name: str
+    precision: str
+    batch_size: int
+    strategy: str
+    num_devices: int
+    num_stages: int
+    shards_per_stage: int
+    topology_kind: str
+    link_name: str
+    link_bandwidth: float
+    link_latency_seconds: float
+    microbatches: int
+    #: single-device roofline ceilings (per device)
+    peak_flops: float
+    peak_bandwidth: float
+    devices: List[DeviceProfile] = field(default_factory=list)
+    layers: List[PartitionedLayer] = field(default_factory=list)
+    #: aggregate timing
+    iteration_seconds: float = 0.0
+    fill_latency_seconds: float = 0.0
+    span_seconds: float = 0.0
+    single_device_seconds: float = 0.0
+    communication_fraction: float = 0.0
+    bubble_fraction: float = 0.0
+    transfer_bytes_per_batch: float = 0.0
+
+    # -- aggregate derived ---------------------------------------------
+    @property
+    def throughput_speedup(self) -> float:
+        return self.single_device_seconds / self.iteration_seconds \
+            if self.iteration_seconds > 0 else 0.0
+
+    @property
+    def parallel_efficiency(self) -> float:
+        return self.throughput_speedup / self.num_devices \
+            if self.num_devices > 0 else 0.0
+
+    @property
+    def total_flop(self) -> float:
+        return sum(d.flop for d in self.devices)
+
+    @property
+    def total_memory_bytes(self) -> float:
+        return sum(d.memory_bytes for d in self.devices)
+
+    @property
+    def aggregate_peak_flops(self) -> float:
+        return self.peak_flops * self.num_devices
+
+    @property
+    def aggregate_peak_bandwidth(self) -> float:
+        return self.peak_bandwidth * self.num_devices
+
+    @property
+    def aggregate_intensity(self) -> float:
+        mem = self.total_memory_bytes
+        return self.total_flop / mem if mem > 0 else 0.0
+
+    @property
+    def aggregate_achieved_flops(self) -> float:
+        return self.total_flop / self.iteration_seconds \
+            if self.iteration_seconds > 0 else 0.0
+
+    # -- chart helpers --------------------------------------------------
+    def device_roofline(self) -> Roofline:
+        """Ceilings of one device (they are all the same platform)."""
+        return Roofline(f"{self.platform_name}/device",
+                        self.peak_flops, self.peak_bandwidth)
+
+    def aggregate_roofline(self) -> Roofline:
+        """The cluster envelope: N devices' combined ceilings."""
+        return Roofline(f"{self.platform_name} x{self.num_devices}",
+                        self.aggregate_peak_flops,
+                        self.aggregate_peak_bandwidth)
+
+    def device_points(self) -> List[RooflinePoint]:
+        return [RooflinePoint(
+            name=f"device{d.device} (stage {d.stage})",
+            arithmetic_intensity=d.arithmetic_intensity,
+            achieved_flops=d.achieved_flops,
+            weight=1.0 - d.idle_fraction,
+            tag=d.bound,
+        ) for d in self.devices]
+
+    def aggregate_point(self) -> RooflinePoint:
+        return RooflinePoint(
+            name=f"{self.model_name} x{self.num_devices}",
+            arithmetic_intensity=self.aggregate_intensity,
+            achieved_flops=self.aggregate_achieved_flops,
+            weight=1.0,
+            tag="end-to-end",
+        )
+
+    def bound_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for l in self.layers:
+            out[l.bound] = out.get(l.bound, 0) + 1
+        return out
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict:
+        doc = asdict(self)
+        doc["aggregate"] = {
+            "throughput_speedup": self.throughput_speedup,
+            "parallel_efficiency": self.parallel_efficiency,
+            "arithmetic_intensity": self.aggregate_intensity,
+            "achieved_flops": self.aggregate_achieved_flops,
+            "peak_flops": self.aggregate_peak_flops,
+            "peak_bandwidth": self.aggregate_peak_bandwidth,
+            "bound_counts": self.bound_counts(),
+        }
+        return doc
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "DistributionReport":
+        """Rebuild a saved report (derived aggregates are recomputed,
+        not trusted)."""
+        doc = dict(doc)
+        doc.pop("aggregate", None)
+        devices = [DeviceProfile(**d) for d in doc.pop("devices")]
+        layers = [PartitionedLayer(**l) for l in doc.pop("layers")]
+        return cls(devices=devices, layers=layers, **doc)
+
+    @classmethod
+    def load(cls, path: str) -> "DistributionReport":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+
+# ---------------------------------------------------------------------------
+def analyze_partition(plan: PartitionPlan, schedule: ScheduleResult,
+                      spec: HardwareSpec,
+                      precision: DataType) -> DistributionReport:
+    """Assemble the :class:`DistributionReport` for one simulated run."""
+    report = plan.report
+    roof = Roofline(spec.name, spec.peak_flops(precision),
+                    spec.achievable_bandwidth)
+    iteration = schedule.iteration_seconds
+    span = schedule.span_seconds
+    devices: List[DeviceProfile] = []
+    send_by_device: Dict[int, float] = {}
+    for t in plan.transfers:
+        if not t.collective:
+            send_by_device[t.src] = send_by_device.get(t.src, 0.0) \
+                + t.seconds
+    for part in plan.devices:
+        comm = part.comm_seconds + send_by_device.get(part.device, 0.0)
+        ai = part.flop / part.memory_bytes if part.memory_bytes > 0 else 0.0
+        tl = next(t for t in schedule.timelines
+                  if t.device == part.device)
+        idle = tl.idle_seconds(span) / span if span > 0 else 0.0
+        devices.append(DeviceProfile(
+            device=part.device, stage=part.stage, shard=part.shard,
+            flop=part.flop, read_bytes=part.read_bytes,
+            write_bytes=part.write_bytes,
+            compute_seconds=part.compute_seconds,
+            comm_seconds=comm,
+            idle_fraction=idle,
+            arithmetic_intensity=ai,
+            achieved_flops=part.flop / iteration if iteration > 0 else 0.0,
+            achieved_bandwidth=part.memory_bytes / iteration
+            if iteration > 0 else 0.0,
+            bound=_classify(ai, roof.ridge_intensity,
+                            part.compute_seconds, comm),
+        ))
+    # per-layer rollup across the devices sharing each layer
+    egress_by_layer: Dict[str, float] = {}
+    for t in plan.transfers:
+        if not t.collective:
+            egress_by_layer[t.layer] = max(
+                egress_by_layer.get(t.layer, 0.0), t.seconds)
+    layer_rows: Dict[Tuple[str, int], PartitionedLayer] = {}
+    order: List[Tuple[str, int]] = []
+    for part in plan.devices:
+        for dl in part.layers:
+            key = (dl.name, dl.stage)
+            row = layer_rows.get(key)
+            if row is None:
+                row = PartitionedLayer(
+                    name=dl.name, op_class=dl.op_class, stage=dl.stage,
+                    devices=[], flop=0.0, memory_bytes=0.0,
+                    compute_seconds=0.0, comm_seconds=0.0,
+                    arithmetic_intensity=0.0, bound=BOUND_MEMORY,
+                    replicated=dl.replicated)
+                layer_rows[key] = row
+                order.append(key)
+            row.devices.append(part.device)
+            row.flop += dl.flop
+            row.memory_bytes += dl.memory_bytes
+            row.compute_seconds = max(row.compute_seconds,
+                                      dl.compute_seconds)
+            row.comm_seconds = max(row.comm_seconds, dl.comm_seconds)
+    for key in order:
+        row = layer_rows[key]
+        row.comm_seconds += egress_by_layer.get(row.name, 0.0)
+        row.arithmetic_intensity = row.flop / row.memory_bytes \
+            if row.memory_bytes > 0 else 0.0
+        row.bound = _classify(row.arithmetic_intensity,
+                              roof.ridge_intensity,
+                              row.compute_seconds, row.comm_seconds)
+    return DistributionReport(
+        model_name=report.model_name,
+        backend_name=report.backend_name,
+        platform_name=report.platform_name,
+        precision=report.precision,
+        batch_size=report.batch_size,
+        strategy=plan.strategy,
+        num_devices=plan.num_devices,
+        num_stages=plan.num_stages,
+        shards_per_stage=plan.shards_per_stage,
+        topology_kind=plan.topology.kind,
+        link_name=plan.topology.link.name,
+        link_bandwidth=plan.topology.link.bandwidth,
+        link_latency_seconds=plan.topology.link.latency_seconds,
+        microbatches=schedule.microbatches,
+        peak_flops=roof.peak_flops,
+        peak_bandwidth=roof.peak_bandwidth,
+        devices=devices,
+        layers=[layer_rows[k] for k in order],
+        iteration_seconds=iteration,
+        fill_latency_seconds=schedule.fill_latency_seconds,
+        span_seconds=span,
+        single_device_seconds=plan.single_device_seconds,
+        communication_fraction=schedule.communication_fraction,
+        bubble_fraction=schedule.bubble_fraction,
+        transfer_bytes_per_batch=plan.transfer_bytes(),
+    )
+
+
+def profile_partitioned(
+    report, num_devices: int, strategy: str = "pipeline",
+    spec: Optional[HardwareSpec] = None,
+    precision: Optional[DataType] = None,
+    link: Optional[Interconnect] = None,
+    topology: Optional[Topology] = None,
+    topology_kind: str = "ring",
+    microbatches: Optional[int] = None,
+) -> Tuple[DistributionReport, PartitionPlan, ScheduleResult]:
+    """One-call convenience: partition + simulate + analyze.
+
+    ``report`` is a single-device :class:`~repro.core.report.ProfileReport`;
+    ``spec``/``precision`` default to the report's platform/precision.
+    Returns (distribution report, partition plan, schedule) so callers
+    can render timelines or drill into the plan.
+    """
+    from ..hardware.specs import platform
+    from ..ir.tensor import DataType as _DT
+    from ..obs import get_tracer
+    if spec is None:
+        spec = platform(report.platform_name.split("@")[0])
+    if precision is None:
+        precision = _DT.parse(report.precision)
+    if link is None and topology is None:
+        link = default_link(spec)
+    tracer = get_tracer()
+    with tracer.span("partition.plan", model=report.model_name,
+                     strategy=strategy, devices=num_devices):
+        plan = partition_report(report, num_devices, strategy=strategy,
+                                link=link, topology=topology,
+                                topology_kind=topology_kind)
+    with tracer.span("partition.schedule", stages=plan.num_stages,
+                     shards=plan.shards_per_stage):
+        schedule = simulate(plan, microbatches=microbatches)
+    with tracer.span("partition.analyze", devices=num_devices):
+        dist = analyze_partition(plan, schedule, spec, precision)
+    return dist, plan, schedule
+
+
+def default_link(spec: HardwareSpec) -> Interconnect:
+    """The platform's default device-to-device link (HardwareSpec
+    ``interconnect``), falling back to PCIe 4 for unknown names."""
+    from .topology import PCIE_GEN4, link_by_name
+    name = getattr(spec, "interconnect", "") or PCIE_GEN4.name
+    try:
+        return link_by_name(name)
+    except KeyError:
+        return PCIE_GEN4

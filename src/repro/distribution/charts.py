@@ -1,0 +1,310 @@
+"""Data-viewer extensions for partitioned execution.
+
+Two new chart types on top of the core SVG data-viewer:
+
+* :func:`render_timeline_svg` — a per-device Gantt chart of the
+  simulated schedule (compute / communication / idle), the time-based
+  view of the run;
+* :func:`render_device_rooflines_svg` — the per-device roofline points
+  against both the single-device envelope and the dashed N-device
+  aggregate envelope, with the aggregate point.
+
+Plus the text report (:func:`format_distribution_report`) the CLI
+prints and a standalone HTML bundle (:func:`render_distribution_html`).
+"""
+from __future__ import annotations
+
+import html
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..core.dataviewer import render_roofline_svg
+from ..core.roofline import RooflinePoint
+from .analysis import (BOUND_COMMUNICATION, BOUND_COMPUTE, BOUND_MEMORY,
+                       DistributionReport)
+from .schedule import ScheduleResult
+
+__all__ = ["render_timeline_svg", "render_device_rooflines_svg",
+           "format_distribution_report", "format_timeline_text",
+           "render_distribution_html", "BOUND_COLORS"]
+
+BOUND_COLORS: Dict[str, str] = {
+    BOUND_COMPUTE: "#2e7d32",
+    BOUND_MEMORY: "#1565c0",
+    BOUND_COMMUNICATION: "#e65100",
+    "end-to-end": "#000000",
+}
+
+_SEGMENT_COLORS = {"compute": "#4473c5", "comm": "#e65100",
+                   "idle": "#eeeeee"}
+
+
+def _si(value: float, unit: str) -> str:
+    if value == 0:
+        return f"0 {unit}"
+    exp = min(4, max(0, int(math.log10(abs(value)) // 3)))
+    prefix = ["", "K", "M", "G", "T"][exp]
+    return f"{value / 10 ** (3 * exp):.2f} {prefix}{unit}"
+
+
+# ---------------------------------------------------------------------------
+# timeline Gantt
+# ---------------------------------------------------------------------------
+def render_timeline_svg(schedule: ScheduleResult, title: str = "",
+                        width: int = 860, row_height: int = 26) -> str:
+    """Per-device Gantt chart of the simulated schedule."""
+    margin_l, margin_t, margin_b = 86, 46, 34
+    timelines = schedule.timelines
+    span = schedule.span_seconds or 1.0
+    height = margin_t + margin_b + row_height * len(timelines)
+    plot_w = width - margin_l - 20
+
+    def sx(t: float) -> float:
+        return margin_l + t / span * plot_w
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="20" text-anchor="middle" '
+        f'font-size="14" font-family="sans-serif">'
+        f'{html.escape(title or "partitioned execution timeline")}</text>',
+    ]
+    # legend
+    lx = margin_l
+    for kind, color in _SEGMENT_COLORS.items():
+        parts.append(f'<rect x="{lx}" y="28" width="10" height="10" '
+                     f'fill="{color}" stroke="#999"/>')
+        parts.append(f'<text x="{lx + 14}" y="37" font-size="10" '
+                     f'font-family="sans-serif">{kind}</text>')
+        lx += 74
+    for i, tl in enumerate(timelines):
+        y = margin_t + i * row_height
+        parts.append(
+            f'<text x="{margin_l - 8}" y="{y + row_height / 2 + 3}" '
+            f'text-anchor="end" font-size="11" font-family="sans-serif">'
+            f'dev{tl.device} s{tl.stage}</text>')
+        # idle background for the whole span
+        parts.append(
+            f'<rect x="{sx(0):.1f}" y="{y + 3}" '
+            f'width="{plot_w:.1f}" height="{row_height - 6}" '
+            f'fill="{_SEGMENT_COLORS["idle"]}"/>')
+        for seg in tl.segments:
+            w = max(0.5, sx(seg.end) - sx(seg.start))
+            color = _SEGMENT_COLORS.get(seg.kind, "#999")
+            parts.append(
+                f'<rect x="{sx(seg.start):.1f}" y="{y + 3}" '
+                f'width="{w:.1f}" height="{row_height - 6}" '
+                f'fill="{color}">'
+                f'<title>{html.escape(seg.label)} mb{seg.microbatch}: '
+                f'{seg.seconds * 1e3:.3f} ms</title></rect>')
+    # time axis ticks
+    axis_y = margin_t + len(timelines) * row_height
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        t = span * frac
+        parts.append(f'<line x1="{sx(t):.1f}" y1="{margin_t}" '
+                     f'x2="{sx(t):.1f}" y2="{axis_y}" stroke="#ccc" '
+                     f'stroke-dasharray="2,3"/>')
+        parts.append(f'<text x="{sx(t):.1f}" y="{axis_y + 14}" '
+                     f'text-anchor="middle" font-size="10" '
+                     f'font-family="sans-serif">{t * 1e3:.2f} ms</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def format_timeline_text(schedule: ScheduleResult, columns: int = 64) -> str:
+    """ASCII rendering of the schedule (one row per device;
+    ``#`` compute, ``~`` communication, ``.`` idle)."""
+    span = schedule.span_seconds
+    if span <= 0:
+        return "(empty schedule)"
+    lines = [f"timeline ({span * 1e3:.3f} ms span, "
+             f"{schedule.microbatches} microbatches; "
+             f"# compute, ~ comm, . idle)"]
+    glyph = {"compute": "#", "comm": "~"}
+    for tl in schedule.timelines:
+        cells = ["."] * columns
+        for seg in tl.segments:
+            a = int(seg.start / span * columns)
+            b = max(a + 1, int(math.ceil(seg.end / span * columns)))
+            for i in range(a, min(b, columns)):
+                g = glyph.get(seg.kind, "?")
+                if cells[i] == "." or g == "~":
+                    cells[i] = g
+        lines.append(f"dev{tl.device:<3d} |{''.join(cells)}|")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# per-device rooflines
+# ---------------------------------------------------------------------------
+def render_device_rooflines_svg(report: DistributionReport,
+                                title: str = "") -> str:
+    """Per-device points on the device envelope + the dashed aggregate
+    envelope with the cluster point, in one chart."""
+    roof = report.device_roofline()
+    points: List[RooflinePoint] = report.device_points()
+    points.append(report.aggregate_point())
+    svg = render_roofline_svg(
+        roof, points,
+        title=title or (f"{report.model_name} x{report.num_devices} "
+                        f"({report.strategy}, {report.link_name})"),
+        extra_bandwidths=((f"x{report.num_devices} aggregate",
+                           report.aggregate_peak_bandwidth),))
+    return svg
+
+
+# ---------------------------------------------------------------------------
+# text report
+# ---------------------------------------------------------------------------
+def format_distribution_report(report: DistributionReport,
+                               top: Optional[int] = 12) -> str:
+    """Full text report: summary, per-device roofline table, the
+    communication-bound layer table."""
+    lines = [
+        f"PRoof distribution report: {report.model_name} x"
+        f"{report.num_devices} ({report.strategy}, "
+        f"{report.topology_kind} over {report.link_name}, "
+        f"{report.platform_name}, {report.precision}, "
+        f"bs={report.batch_size})",
+        "=" * 100,
+        f"iteration    : {report.iteration_seconds * 1e3:.3f} ms "
+        f"steady-state ({report.throughput_speedup:.2f}x over one device, "
+        f"{report.parallel_efficiency * 100:.1f}% parallel efficiency)",
+        f"fill latency : {report.fill_latency_seconds * 1e3:.3f} ms; "
+        f"bubble {report.bubble_fraction * 100:.1f}%, "
+        f"communication {report.communication_fraction * 100:.1f}% of "
+        f"device-time",
+        f"transfers    : {_si(report.transfer_bytes_per_batch, 'B')}/batch "
+        f"over {report.link_name} "
+        f"({report.link_bandwidth / 1e9:.1f} GB/s, "
+        f"{report.link_latency_seconds * 1e6:.1f} us/hop)",
+        f"aggregate    : {_si(report.aggregate_achieved_flops, 'FLOP/s')} of "
+        f"{_si(report.aggregate_peak_flops, 'FLOP/s')} cluster peak "
+        f"(AI {report.aggregate_intensity:.1f})",
+    ]
+    counts = report.bound_counts()
+    lines.append("layer bounds : " + ", ".join(
+        f"{k} {v}" for k, v in sorted(counts.items())) if counts else "")
+    lines.append("")
+    lines.append(f"{'device':>6s} {'stage':>5s} {'shard':>5s} "
+                 f"{'GFLOP':>8s} {'MB':>8s} {'AI':>7s} {'TFLOP/s':>8s} "
+                 f"{'compute(us)':>11s} {'comm(us)':>9s} {'idle%':>6s} "
+                 f"{'bound':>13s}")
+    lines.append("-" * 100)
+    for d in report.devices:
+        lines.append(
+            f"{d.device:6d} {d.stage:5d} {d.shard:5d} "
+            f"{d.flop / 1e9:8.3f} {d.memory_bytes / 1e6:8.2f} "
+            f"{d.arithmetic_intensity:7.1f} "
+            f"{d.achieved_flops / 1e12:8.3f} "
+            f"{d.compute_seconds * 1e6:11.1f} "
+            f"{d.comm_seconds * 1e6:9.1f} "
+            f"{d.idle_fraction * 100:6.1f} {d.bound:>13s}")
+    comm_layers = [l for l in report.layers
+                   if l.bound == BOUND_COMMUNICATION]
+    if comm_layers:
+        comm_layers.sort(key=lambda l: -l.comm_seconds)
+        if top is not None:
+            comm_layers = comm_layers[:top]
+        lines.append("")
+        lines.append(f"communication-bound layers (top {len(comm_layers)}):")
+        lines.append(f"{'layer':44s} {'class':15s} {'comm(us)':>9s} "
+                     f"{'compute(us)':>11s} {'AI':>7s}")
+        for l in comm_layers:
+            lines.append(
+                f"{l.name[:44]:44s} {l.op_class:15s} "
+                f"{l.comm_seconds * 1e6:9.1f} "
+                f"{l.compute_seconds * 1e6:11.1f} "
+                f"{l.arithmetic_intensity:7.1f}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# HTML bundle
+# ---------------------------------------------------------------------------
+_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto;
+       max-width: 76rem; color: #1a1a1a; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+.cards { display: flex; gap: 1rem; flex-wrap: wrap; }
+.card { border: 1px solid #ddd; border-radius: 8px; padding: .8rem 1.2rem;
+        min-width: 10rem; }
+.card .value { font-size: 1.3rem; font-weight: 600; }
+.card .label { font-size: .8rem; color: #666; }
+table { border-collapse: collapse; width: 100%; font-size: .82rem; }
+th, td { border-bottom: 1px solid #eee; padding: .3rem .5rem;
+         text-align: right; white-space: nowrap; }
+th { background: #fafafa; }
+td.name, th.name { text-align: left; }
+.bound-communication { color: #e65100; font-weight: 600; }
+.bound-compute { color: #2e7d32; }
+.bound-memory { color: #1565c0; }
+.footnote { color: #888; font-size: .75rem; margin-top: 2rem; }
+"""
+
+
+def _card(label: str, value: str) -> str:
+    return (f'<div class="card"><div class="value">{html.escape(value)}'
+            f'</div><div class="label">{html.escape(label)}</div></div>')
+
+
+def render_distribution_html(report: DistributionReport,
+                             schedule: Optional[ScheduleResult] = None
+                             ) -> str:
+    """Standalone HTML page: summary cards, per-device rooflines, the
+    timeline Gantt (when a schedule is passed) and the device table."""
+    title = (f"PRoof distribution — {report.model_name} x"
+             f"{report.num_devices} ({report.strategy}, "
+             f"{report.link_name}, {report.platform_name})")
+    cards = "".join([
+        _card("steady-state iteration",
+              f"{report.iteration_seconds * 1e3:.3f} ms"),
+        _card("speedup", f"{report.throughput_speedup:.2f}x"),
+        _card("parallel efficiency",
+              f"{report.parallel_efficiency * 100:.1f}%"),
+        _card("communication",
+              f"{report.communication_fraction * 100:.1f}%"),
+        _card("bubble", f"{report.bubble_fraction * 100:.1f}%"),
+        _card("transfers/batch",
+              _si(report.transfer_bytes_per_batch, "B")),
+    ])
+    rows = []
+    for d in report.devices:
+        rows.append(
+            "<tr>"
+            f'<td class="name">device {d.device} (stage {d.stage}, '
+            f"shard {d.shard})</td>"
+            f"<td>{d.flop / 1e9:.3f}</td>"
+            f"<td>{d.memory_bytes / 1e6:.2f}</td>"
+            f"<td>{d.arithmetic_intensity:.1f}</td>"
+            f"<td>{d.achieved_flops / 1e12:.3f}</td>"
+            f"<td>{d.compute_seconds * 1e6:.1f}</td>"
+            f"<td>{d.comm_seconds * 1e6:.1f}</td>"
+            f"<td>{d.idle_fraction * 100:.1f}%</td>"
+            f'<td class="bound-{d.bound}">{d.bound}</td>'
+            "</tr>")
+    device_table = (
+        "<table><tr><th class='name'>device</th><th>GFLOP</th><th>MB</th>"
+        "<th>AI</th><th>TFLOP/s</th><th>compute (µs)</th><th>comm (µs)</th>"
+        "<th>idle</th><th>bound</th></tr>" + "".join(rows) + "</table>")
+    timeline = ""
+    if schedule is not None:
+        timeline = ("<h2>Execution timeline</h2>"
+                    + render_timeline_svg(schedule, title=""))
+    return f"""<!doctype html>
+<html><head><meta charset="utf-8"><title>{html.escape(title)}</title>
+<style>{_CSS}</style></head><body>
+<h1>{html.escape(title)}</h1>
+<div class="cards">{cards}</div>
+<h2>Per-device rooflines</h2>
+{render_device_rooflines_svg(report)}
+{timeline}
+<h2>Devices</h2>
+{device_table}
+<p class="footnote">generated by the PRoof reproduction —
+topology: {html.escape(report.topology_kind)} over
+{html.escape(report.link_name)};
+per-device ceilings {_si(report.peak_flops, "FLOP/s")},
+{_si(report.peak_bandwidth, "B/s")}.</p>
+</body></html>"""

@@ -1,0 +1,439 @@
+"""Partitioning strategies: one profiled model → N device programs.
+
+Input is a single-device :class:`~repro.core.report.ProfileReport`
+(per-backend-layer latency, FLOP, DRAM bytes — the OAR + backend
+mapping already collapsed into layer records).  Output is a
+:class:`PartitionPlan`: per-device :class:`DevicePartition` sub-programs
+plus explicit :class:`TransferOp` communication ops.
+
+Three strategies:
+
+* **pipeline** — contiguous stages balanced by an exact
+  interval-partition DP over per-layer latency; stage boundaries insert
+  point-to-point activation transfers (bytes = the boundary layer's
+  written activation);
+* **tensor** — every layer's unique work shards N ways (channel /
+  head / output-column split); Megatron-pairing means every second
+  sharded matrix layer all-reduces its output as a ring collective.
+  Layers whose class cannot shard (normalization over the full feature,
+  embeddings, reformat copies) replicate *in time* but their unique
+  work is still accounted once — redundant recompute shows up as lost
+  parallel efficiency, not as invented FLOPs;
+* **hybrid** — factor N = stages × shards: pipeline across device
+  groups, tensor-split inside each stage.
+
+Accounting invariant (enforced by ``repro.check``): summing FLOP /
+read / write bytes over all devices of any plan reproduces the
+single-device totals exactly — partitioning moves work, it never
+creates or destroys it.  Communication is tracked separately in
+:class:`TransferOp`, never folded into DRAM bytes.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.report import LayerProfile, ProfileReport
+from .topology import Interconnect, Topology, make_topology
+
+__all__ = ["TransferOp", "DeviceLayer", "DevicePartition", "PartitionPlan",
+           "STRATEGIES", "partition_report", "partition_pipeline",
+           "partition_tensor", "partition_hybrid", "balanced_cuts",
+           "SHARDABLE_CLASSES", "SHARDABLE_LOCAL_CLASSES"]
+
+
+#: matrix classes sharded column/row-parallel — these pay the paired
+#: all-reduce
+SHARDABLE_CLASSES = {"matmul", "conv", "pointwise_conv"}
+
+#: classes that shard head-/channel-parallel with purely local work
+#: (attention softmax and plumbing operate per head; elementwise and
+#: depthwise work is channel-local)
+SHARDABLE_LOCAL_CLASSES = {"softmax", "elementwise", "data_movement",
+                           "depthwise_conv", "reduction"}
+
+
+@dataclass
+class TransferOp:
+    """One inter-device communication op."""
+
+    name: str
+    src: int                   # -1 for collectives (whole group)
+    dst: int                   # -1 for collectives
+    nbytes: float
+    seconds: float
+    collective: bool = False
+    participants: Tuple[int, ...] = ()
+    #: the backend layer whose output this transfer moves — per-layer
+    #: communication attribution keys on this
+    layer: str = ""
+    #: pipeline stage the transfer leaves from
+    stage: int = 0
+
+
+@dataclass
+class DeviceLayer:
+    """One backend layer's share of work on one device."""
+
+    name: str
+    op_class: str
+    kind: str                       # execution | reformat
+    stage: int
+    #: this device's share of the layer's unique work
+    flop: float
+    read_bytes: float
+    write_bytes: float
+    #: wall time this device spends computing the layer (replicated
+    #: layers charge the full single-device latency; sharded ones 1/N)
+    compute_seconds: float
+    #: communication attributed to this layer on this device
+    comm_seconds: float = 0.0
+    #: True when the layer's compute is redundantly repeated on every
+    #: device of the shard group (unshardable classes under tensor
+    #: parallelism)
+    replicated: bool = False
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        return self.flop / self.memory_bytes if self.memory_bytes > 0 else 0.0
+
+
+@dataclass
+class DevicePartition:
+    """The sub-program one simulated device executes."""
+
+    device: int
+    stage: int
+    #: index within the tensor-shard group of this stage (0 for pipeline)
+    shard: int
+    layers: List[DeviceLayer] = field(default_factory=list)
+
+    @property
+    def flop(self) -> float:
+        return sum(l.flop for l in self.layers)
+
+    @property
+    def read_bytes(self) -> float:
+        return sum(l.read_bytes for l in self.layers)
+
+    @property
+    def write_bytes(self) -> float:
+        return sum(l.write_bytes for l in self.layers)
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def compute_seconds(self) -> float:
+        return sum(l.compute_seconds for l in self.layers)
+
+    @property
+    def comm_seconds(self) -> float:
+        return sum(l.comm_seconds for l in self.layers)
+
+
+@dataclass
+class PartitionPlan:
+    """A partitioned execution: device programs + communication ops."""
+
+    strategy: str
+    topology: Topology
+    devices: List[DevicePartition]
+    transfers: List[TransferOp]
+    #: pipeline depth (1 for pure tensor parallelism)
+    num_stages: int
+    #: tensor-shard ways inside each stage (1 for pure pipeline)
+    shards_per_stage: int
+    #: source single-device profile
+    report: ProfileReport
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def single_device_seconds(self) -> float:
+        return self.report.end_to_end.latency_seconds
+
+    # ------------------------------------------------------------------
+    def stage_devices(self, stage: int) -> List[DevicePartition]:
+        return [d for d in self.devices if d.stage == stage]
+
+    def stage_compute_seconds(self, stage: int) -> float:
+        """Wall time of one stage: its slowest shard."""
+        members = self.stage_devices(stage)
+        return max((d.compute_seconds for d in members), default=0.0)
+
+    def stage_comm_seconds(self, stage: int) -> float:
+        members = self.stage_devices(stage)
+        return max((d.comm_seconds for d in members), default=0.0)
+
+    def stage_egress(self, stage: int) -> List[TransferOp]:
+        """Point-to-point transfers leaving a stage."""
+        return [t for t in self.transfers
+                if not t.collective and t.stage == stage]
+
+    # ------------------------------------------------------------------
+    def totals(self) -> Tuple[float, float, float]:
+        """Summed (flop, read_bytes, write_bytes) across all devices —
+        must equal the single-device totals (conservation)."""
+        return (sum(d.flop for d in self.devices),
+                sum(d.read_bytes for d in self.devices),
+                sum(d.write_bytes for d in self.devices))
+
+    def transfer_bytes(self) -> float:
+        return sum(t.nbytes for t in self.transfers)
+
+
+# ---------------------------------------------------------------------------
+# balanced pipeline cuts: exact interval-partition DP
+# ---------------------------------------------------------------------------
+def balanced_cuts(costs: Sequence[float], n: int) -> List[int]:
+    """Cut points splitting ``costs`` into ``n`` contiguous intervals
+    minimizing the maximum interval sum (the linear partition problem,
+    solved exactly by DP over prefix sums).
+
+    Returns the ``n - 1`` start indices of intervals 2..n; degenerate
+    splits (more devices than items) produce empty trailing intervals.
+    """
+    if n < 1:
+        raise ValueError("need at least one interval")
+    m = len(costs)
+    if m == 0:
+        return [0] * (n - 1)
+    prefix = [0.0]
+    for c in costs:
+        prefix.append(prefix[-1] + c)
+
+    def interval(i: int, j: int) -> float:     # costs[i:j]
+        return prefix[j] - prefix[i]
+
+    # best[k][j]: minimal bottleneck splitting costs[:j] into k intervals
+    inf = math.inf
+    best = [[inf] * (m + 1) for _ in range(n + 1)]
+    cut_at = [[0] * (m + 1) for _ in range(n + 1)]
+    for j in range(m + 1):
+        best[1][j] = interval(0, j)
+    for k in range(2, n + 1):
+        for j in range(m + 1):
+            # last interval is costs[i:j]; earlier ones optimal for k-1
+            for i in range(j + 1):
+                bottleneck = max(best[k - 1][i], interval(i, j))
+                if bottleneck < best[k][j]:
+                    best[k][j] = bottleneck
+                    cut_at[k][j] = i
+    cuts: List[int] = []
+    j = m
+    for k in range(n, 1, -1):
+        i = cut_at[k][j]
+        cuts.append(i)
+        j = i
+    cuts.reverse()
+    return cuts
+
+
+def _stage_bounds(costs: Sequence[float], stages: int) -> List[Tuple[int, int]]:
+    cuts = balanced_cuts(costs, stages)
+    bounds = [0] + list(cuts) + [len(costs)]
+    return list(zip(bounds, bounds[1:]))
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+def _copy_layer(l: LayerProfile, stage: int) -> DeviceLayer:
+    return DeviceLayer(
+        name=l.name, op_class=l.op_class, kind=l.kind, stage=stage,
+        flop=l.flop, read_bytes=l.read_bytes, write_bytes=l.write_bytes,
+        compute_seconds=l.latency_seconds)
+
+
+def _shard_layers(chunk: Sequence[LayerProfile], stage: int, ways: int,
+                  ) -> List[List[DeviceLayer]]:
+    """Tensor-split a run of layers ``ways`` ways.
+
+    Unique work (FLOP/bytes) always divides by ``ways`` so the
+    conservation invariant holds; wall time divides only for classes
+    that actually shard — unshardable layers recompute on every device.
+    """
+    programs: List[List[DeviceLayer]] = [[] for _ in range(ways)]
+    for l in chunk:
+        shardable = (l.op_class in SHARDABLE_CLASSES
+                     or (l.op_class in SHARDABLE_LOCAL_CLASSES
+                         and l.kind == "execution"))
+        for s in range(ways):
+            programs[s].append(DeviceLayer(
+                name=l.name, op_class=l.op_class, kind=l.kind, stage=stage,
+                flop=l.flop / ways,
+                read_bytes=l.read_bytes / ways,
+                write_bytes=l.write_bytes / ways,
+                compute_seconds=l.latency_seconds / ways if shardable
+                else l.latency_seconds,
+                replicated=not shardable and ways > 1,
+            ))
+    return programs
+
+
+def _attach_collectives(plan_devices: List[DevicePartition],
+                        chunk: Sequence[LayerProfile], stage: int,
+                        group: Sequence[int], topology: Topology,
+                        transfers: List[TransferOp]) -> None:
+    """Megatron pairing over one stage's sharded matrix layers: the
+    column-parallel half is communication-free, the row-parallel half
+    all-reduces its output across the stage's shard group."""
+    ways = len(group)
+    if ways <= 1:
+        return
+    matrix = [l for l in chunk if l.op_class in SHARDABLE_CLASSES]
+    reducing = [l for i, l in enumerate(matrix) if i % 2 == 1]
+    if matrix and len(matrix) % 2 == 1:
+        # an unpaired trailing sharded layer still reduces
+        if not reducing or reducing[-1] is not matrix[-1]:
+            reducing.append(matrix[-1])
+    for l in reducing:
+        if l.write_bytes <= 0:
+            continue
+        seconds = topology.allreduce_seconds(l.write_bytes, ways)
+        transfers.append(TransferOp(
+            name=f"allreduce:{l.name}", src=-1, dst=-1,
+            nbytes=l.write_bytes, seconds=seconds, collective=True,
+            participants=tuple(group), layer=l.name, stage=stage))
+        for dev in plan_devices:
+            if dev.device in group:
+                for dl in dev.layers:
+                    if dl.name == l.name:
+                        dl.comm_seconds += seconds
+
+
+def _egress_transfer(chunk: Sequence[LayerProfile], stage: int,
+                     src: int, dst: int, topology: Topology,
+                     concurrent: int) -> Optional[TransferOp]:
+    """The activation handed from a stage to its successor — the last
+    layer's written activation (a conservative single-tensor model)."""
+    if not chunk:
+        return None
+    egress = chunk[-1].write_bytes
+    seconds = topology.transfer_seconds(src, dst, egress,
+                                        concurrent=concurrent)
+    return TransferOp(
+        name=f"send:{chunk[-1].name}", src=src, dst=dst, nbytes=egress,
+        seconds=seconds, layer=chunk[-1].name, stage=stage)
+
+
+def _build_staged(report: ProfileReport, topology: Topology,
+                  stages: int, shards: int, strategy: str) -> PartitionPlan:
+    """Common pipeline×tensor grid construction (stage-major device
+    numbering: device = stage * shards + shard)."""
+    layers = report.layers
+    if not layers:
+        raise ValueError("report has no layers")
+    lats = [l.latency_seconds for l in layers]
+    bounds = _stage_bounds(lats, stages)
+    devices: List[DevicePartition] = []
+    transfers: List[TransferOp] = []
+    for stage, (a, b) in enumerate(bounds):
+        chunk = layers[a:b]
+        group = [stage * shards + s for s in range(shards)]
+        programs = _shard_layers(chunk, stage, shards)
+        for shard, dev_id in enumerate(group):
+            devices.append(DevicePartition(
+                device=dev_id, stage=stage, shard=shard,
+                layers=programs[shard]))
+        _attach_collectives(devices, chunk, stage, group, topology,
+                            transfers)
+    # inter-stage egress: shard s of stage k feeds shard s of stage k+1;
+    # the shards' partial activations move concurrently (they contend on
+    # a host bridge), each carrying its 1/shards slice
+    for stage in range(stages - 1):
+        a, b = bounds[stage]
+        chunk = layers[a:b]
+        if not chunk:
+            continue
+        for shard in range(shards):
+            src = stage * shards + shard
+            dst = (stage + 1) * shards + shard
+            egress = chunk[-1].write_bytes / shards
+            seconds = topology.transfer_seconds(
+                src, dst, egress, concurrent=shards)
+            transfers.append(TransferOp(
+                name=f"send:{chunk[-1].name}"
+                     + (f"#{shard}" if shards > 1 else ""),
+                src=src, dst=dst, nbytes=egress, seconds=seconds,
+                layer=chunk[-1].name, stage=stage))
+    return PartitionPlan(
+        strategy=strategy, topology=topology, devices=devices,
+        transfers=transfers, num_stages=stages, shards_per_stage=shards,
+        report=report)
+
+
+def partition_pipeline(report: ProfileReport,
+                       topology: Topology) -> PartitionPlan:
+    """Balanced contiguous pipeline stages, one device each."""
+    return _build_staged(report, topology, stages=topology.num_devices,
+                         shards=1, strategy="pipeline")
+
+
+def partition_tensor(report: ProfileReport,
+                     topology: Topology) -> PartitionPlan:
+    """One stage, every layer sharded across all devices."""
+    return _build_staged(report, topology, stages=1,
+                         shards=topology.num_devices, strategy="tensor")
+
+
+def _hybrid_factors(n: int) -> Tuple[int, int]:
+    """(stages, shards) with stages × shards = n, shards as close to
+    √n as a divisor allows — tensor groups stay small (communication
+    per shard grows with group size) while the pipeline absorbs the
+    rest."""
+    best = (n, 1)
+    root = int(math.isqrt(n))
+    for shards in range(root, 0, -1):
+        if n % shards == 0:
+            best = (n // shards, shards)
+            break
+    return best
+
+
+def partition_hybrid(report: ProfileReport,
+                     topology: Topology) -> PartitionPlan:
+    """Pipeline of tensor-sharded stages (stages × shards = N)."""
+    stages, shards = _hybrid_factors(topology.num_devices)
+    return _build_staged(report, topology, stages=stages, shards=shards,
+                         strategy="hybrid")
+
+
+STRATEGIES = {
+    "pipeline": partition_pipeline,
+    "tensor": partition_tensor,
+    "hybrid": partition_hybrid,
+}
+
+
+def partition_report(report: ProfileReport, num_devices: int,
+                     strategy: str = "pipeline",
+                     link: Optional[Interconnect] = None,
+                     topology: Optional[Topology] = None,
+                     topology_kind: str = "ring") -> PartitionPlan:
+    """Partition a profiled model: the subsystem's front door.
+
+    Either pass a ready :class:`Topology`, or a link (default NVLink)
+    plus a topology kind and ``num_devices``.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; one of "
+                         f"{', '.join(STRATEGIES)}")
+    if num_devices < 1:
+        raise ValueError("need at least one device")
+    if topology is None:
+        from .topology import NVLINK
+        topology = make_topology(topology_kind, num_devices, link or NVLINK)
+    elif topology.num_devices != num_devices:
+        raise ValueError(f"topology is sized for {topology.num_devices} "
+                         f"devices, not {num_devices}")
+    return STRATEGIES[strategy](report, topology)

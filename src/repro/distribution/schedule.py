@@ -1,0 +1,201 @@
+"""Micro-batch schedule simulation over a :class:`PartitionPlan`.
+
+Simulates M micro-batches flowing through the partitioned execution and
+produces per-device timelines — explicit (start, end, kind) segments
+for compute, communication and idle time — plus the aggregate numbers
+the analysis layer reads off: steady-state iteration time, pipeline
+fill/drain latency, per-device busy/comm/idle fractions.
+
+The model is the classic synchronous pipeline (GPipe-style, no
+interleaving): stage *s* starts micro-batch *m* once (a) the device is
+free and (b) stage *s−1* has delivered micro-batch *m*.  A stage's
+service time is its slowest shard's compute plus its collectives; the
+inter-stage transfer occupies the *sender*.  Tensor parallelism is the
+one-stage special case (lockstep devices, collectives between compute
+bursts), so one simulator covers all three strategies.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .partition import DevicePartition, PartitionPlan, TransferOp
+
+__all__ = ["Segment", "DeviceTimeline", "ScheduleResult", "simulate"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous activity interval on one device's timeline."""
+
+    start: float
+    end: float
+    kind: str                  # compute | comm | idle
+    label: str = ""
+    microbatch: int = -1
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class DeviceTimeline:
+    """All of one device's activity, in time order."""
+
+    device: int
+    stage: int
+    segments: List[Segment] = field(default_factory=list)
+
+    def busy_seconds(self, kind: str) -> float:
+        return sum(s.seconds for s in self.segments if s.kind == kind)
+
+    @property
+    def compute_seconds(self) -> float:
+        return self.busy_seconds("compute")
+
+    @property
+    def comm_seconds(self) -> float:
+        return self.busy_seconds("comm")
+
+    @property
+    def end(self) -> float:
+        return self.segments[-1].end if self.segments else 0.0
+
+    def idle_seconds(self, span: float) -> float:
+        return span - self.compute_seconds - self.comm_seconds
+
+    def add(self, start: float, end: float, kind: str, label: str,
+            microbatch: int) -> None:
+        if end > start:
+            self.segments.append(Segment(start, end, kind, label,
+                                         microbatch))
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one schedule simulation."""
+
+    plan: PartitionPlan
+    microbatches: int
+    timelines: List[DeviceTimeline]
+    #: completion time of each micro-batch at the last stage
+    completions: List[float]
+
+    # -- aggregate timing ----------------------------------------------
+    @property
+    def span_seconds(self) -> float:
+        """Wall time from first dispatch to last completion."""
+        return max((t.end for t in self.timelines), default=0.0)
+
+    @property
+    def fill_latency_seconds(self) -> float:
+        """First micro-batch latency: the whole pipe must fill."""
+        return self.completions[0] if self.completions else 0.0
+
+    @property
+    def iteration_seconds(self) -> float:
+        """Steady-state time per micro-batch: the gap between the last
+        two completions (equals the bottleneck stage once the pipe is
+        full), falling back to the fill latency for one micro-batch."""
+        if len(self.completions) < 2:
+            return self.fill_latency_seconds
+        return self.completions[-1] - self.completions[-2]
+
+    @property
+    def throughput_speedup(self) -> float:
+        """Steady-state speedup over the single-device profile."""
+        it = self.iteration_seconds
+        return self.plan.single_device_seconds / it if it > 0 else 0.0
+
+    @property
+    def parallel_efficiency(self) -> float:
+        return self.throughput_speedup / self.plan.num_devices
+
+    @property
+    def communication_fraction(self) -> float:
+        """Share of total device-time spent communicating."""
+        span = self.span_seconds * len(self.timelines)
+        comm = sum(t.comm_seconds for t in self.timelines)
+        return comm / span if span > 0 else 0.0
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Idle share of total device-time (fill/drain + imbalance)."""
+        span = self.span_seconds
+        total = span * len(self.timelines)
+        if total <= 0:
+            return 0.0
+        busy = sum(t.compute_seconds + t.comm_seconds
+                   for t in self.timelines)
+        return 1.0 - busy / total
+
+    def device_idle_seconds(self, device: int) -> float:
+        for t in self.timelines:
+            if t.device == device:
+                return t.idle_seconds(self.span_seconds)
+        raise KeyError(f"no device {device}")
+
+
+def _stage_service(plan: PartitionPlan, stage: int
+                   ) -> Tuple[float, float, List[TransferOp]]:
+    """(compute, collective-comm, egress transfers) for one stage —
+    per micro-batch, taken at the slowest shard."""
+    compute = plan.stage_compute_seconds(stage)
+    comm = plan.stage_comm_seconds(stage)
+    egress = plan.stage_egress(stage)
+    return compute, comm, egress
+
+
+def simulate(plan: PartitionPlan,
+             microbatches: Optional[int] = None) -> ScheduleResult:
+    """Run the synchronous pipeline schedule.
+
+    ``microbatches`` defaults to ``2 × stages`` so the steady state is
+    reached even for deep pipelines (and is at least 2, so the
+    iteration-time read-off is a real gap, not the fill latency).
+    """
+    stages = plan.num_stages
+    if microbatches is None:
+        microbatches = max(2, 2 * stages)
+    if microbatches < 1:
+        raise ValueError("need at least one microbatch")
+    timelines = {d.device: DeviceTimeline(d.device, d.stage)
+                 for d in plan.devices}
+    service = [_stage_service(plan, s) for s in range(stages)]
+    #: when each device becomes free
+    free: Dict[int, float] = {d.device: 0.0 for d in plan.devices}
+    #: when micro-batch m's input is available at stage s
+    ready = [[0.0] * microbatches for _ in range(stages)]
+    completions: List[float] = []
+    for m in range(microbatches):
+        for s in range(stages):
+            compute, comm, egress = service[s]
+            members = plan.stage_devices(s)
+            start = max(ready[s][m],
+                        max(free[d.device] for d in members))
+            for d in members:
+                tl = timelines[d.device]
+                tl.add(start, start + compute, "compute",
+                       f"stage{s}", m)
+                tl.add(start + compute, start + compute + comm, "comm",
+                       "collective", m)
+            t = start + compute + comm
+            # the egress transfer occupies the sending devices
+            send = max((x.seconds for x in egress), default=0.0) \
+                if s < stages - 1 else 0.0
+            if send > 0:
+                for d in members:
+                    timelines[d.device].add(t, t + send, "comm",
+                                            "send", m)
+            done = t + send
+            for d in members:
+                free[d.device] = done
+            if s < stages - 1:
+                ready[s + 1][m] = done
+            else:
+                completions.append(t)
+    return ScheduleResult(
+        plan=plan, microbatches=microbatches,
+        timelines=[timelines[d.device] for d in plan.devices],
+        completions=completions)

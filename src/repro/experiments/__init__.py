@@ -1,5 +1,6 @@
 """Per-table/figure reproduction drivers (see DESIGN.md §4)."""
-from . import (ablation_fusion, common, fig4_end_to_end, fig5_layerwise,
+from . import (ablation_fusion, common, dist_scaling, fig4_end_to_end,
+               fig5_layerwise,
                fig6_shufflenet_layerwise, fig7_block_structure,
                fig8_orin_layerwise,
                table1_tools, table2_hardware,
@@ -12,5 +13,5 @@ __all__ = [
     "table5_shufflenet", "fig6_shufflenet_layerwise",
     "fig7_block_structure", "table6_peaks",
     "fig8_orin_layerwise",
-    "table7_power", "ablation_fusion",
+    "table7_power", "ablation_fusion", "dist_scaling",
 ]

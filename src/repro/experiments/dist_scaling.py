@@ -1,0 +1,142 @@
+"""Distributed scaling study (paper §5 future work, repro.distribution).
+
+Partitioned-execution profiling of three zoo models across device
+counts, links and strategies: parallel efficiency vs N, the fraction of
+device-time spent communicating, and the headline qualitative result —
+layers that are **compute-bound on one device flip to
+communication-bound at scale over PCIe**, while NVLink keeps them
+compute-bound.  No paper reference numbers exist (the paper names
+distributed inference as future work); the criteria are the expected
+shapes:
+
+* efficiency is 1.0 at N=1 and non-increasing in N for every
+  (model, link, strategy);
+* NVLink efficiency >= PCIe efficiency at every N;
+* at least one model has a layer flipping compute -> communication
+  bound between N=1 and N=8 on PCIe tensor parallelism.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.profiler import Profiler
+from ..distribution import (BOUND_COMMUNICATION, BOUND_COMPUTE, NVLINK,
+                            PCIE_GEN4, profile_partitioned)
+from ..models import build_model
+from .common import ExperimentMeta, markdown_table
+
+__all__ = ["META", "MODELS", "DEVICE_COUNTS", "ScalingPoint",
+           "ScalingResult", "run", "to_markdown"]
+
+META = ExperimentMeta(
+    artifact="Dist. scaling",
+    title="Parallel efficiency and communication-boundedness vs N",
+    section="5 (future work: distributed inference)")
+
+MODELS: Tuple[str, ...] = ("resnet50", "mobilenetv2-10", "vit-tiny")
+DEVICE_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
+LINKS = (NVLINK, PCIE_GEN4)
+STRATEGIES: Tuple[str, ...] = ("pipeline", "tensor")
+_BATCH = 32
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (model, link, strategy, N) partitioned-execution profile."""
+
+    model: str
+    link: str
+    strategy: str
+    devices: int
+    parallel_efficiency: float
+    throughput_speedup: float
+    communication_fraction: float
+    comm_bound_layers: int
+    total_layers: int
+
+
+@dataclass
+class ScalingResult:
+    points: List[ScalingPoint] = field(default_factory=list)
+    #: model -> layer names compute-bound at N=1 but communication-bound
+    #: at max N under PCIe tensor parallelism (the flip demonstration)
+    flipped_layers: Dict[str, List[str]] = field(default_factory=dict)
+
+    def series(self, model: str, link: str, strategy: str
+               ) -> List[ScalingPoint]:
+        return [p for p in self.points
+                if (p.model, p.link, p.strategy) == (model, link, strategy)]
+
+
+def run() -> ScalingResult:
+    result = ScalingResult()
+    for model in MODELS:
+        report = Profiler("trt-sim", "a100", "fp16").profile(
+            build_model(model, batch_size=_BATCH))
+        bounds_at: Dict[Tuple[str, int], Dict[str, str]] = {}
+        for link in LINKS:
+            for strategy in STRATEGIES:
+                for n in DEVICE_COUNTS:
+                    dist, _, _ = profile_partitioned(
+                        report, n, strategy=strategy, link=link)
+                    result.points.append(ScalingPoint(
+                        model=model, link=link.name, strategy=strategy,
+                        devices=n,
+                        parallel_efficiency=dist.parallel_efficiency,
+                        throughput_speedup=dist.throughput_speedup,
+                        communication_fraction=dist.communication_fraction,
+                        comm_bound_layers=dist.bound_counts().get(
+                            BOUND_COMMUNICATION, 0),
+                        total_layers=len(dist.layers)))
+                    if link is PCIE_GEN4 and strategy == "tensor":
+                        bounds_at[(model, n)] = {
+                            l.name: l.bound for l in dist.layers}
+        base = bounds_at.get((model, DEVICE_COUNTS[0]), {})
+        wide = bounds_at.get((model, DEVICE_COUNTS[-1]), {})
+        result.flipped_layers[model] = sorted(
+            name for name, bound in base.items()
+            if bound == BOUND_COMPUTE
+            and wide.get(name) == BOUND_COMMUNICATION)
+    return result
+
+
+def to_markdown(result: ScalingResult) -> str:
+    lines = [f"## {META.artifact} — {META.title} (§{META.section})", ""]
+    lines.append(
+        "Parallel efficiency of partitioned execution on simulated A100s "
+        f"(fp16, bs={_BATCH}); NVLink (300 GB/s) vs PCIe Gen4 (25 GB/s).")
+    lines.append("")
+    headers = ["model", "strategy", "link"] + \
+        [f"eff @N={n}" for n in DEVICE_COUNTS] + \
+        [f"comm-bound @N={DEVICE_COUNTS[-1]}"]
+    rows = []
+    for model in MODELS:
+        for strategy in STRATEGIES:
+            for link in LINKS:
+                series = result.series(model, link.name, strategy)
+                last = series[-1]
+                rows.append(
+                    [model, strategy, link.name]
+                    + [f"{p.parallel_efficiency:.2f}" for p in series]
+                    + [f"{last.comm_bound_layers}/{last.total_layers}"])
+    lines.append(markdown_table(headers, rows))
+    lines.append("")
+    flipped = {m: ls for m, ls in result.flipped_layers.items() if ls}
+    if flipped:
+        lines.append(
+            "Compute-bound -> communication-bound flips (N=1 -> "
+            f"N={DEVICE_COUNTS[-1]}, PCIe tensor parallelism):")
+        for model, layers in flipped.items():
+            shown = ", ".join(layers[:4])
+            more = f" (+{len(layers) - 4} more)" if len(layers) > 4 else ""
+            lines.append(f"- **{model}**: {shown}{more}")
+    else:
+        lines.append("No compute->communication flips observed "
+                     "(unexpected - see criteria).")
+    lines.append("")
+    lines.append(
+        "Criteria: efficiency non-increasing in N; NVLink >= PCIe at "
+        "every N; at least one model flips layers to "
+        "communication-bound over PCIe.")
+    return "\n".join(lines)

@@ -108,6 +108,10 @@ class HardwareSpec:
     power_per_compute_mhz: float = 0.0
     power_per_memory_mhz: float = 0.0
     power_cpu_cluster_w: float = 0.0
+    #: default device-to-device link for multi-device partitioning —
+    #: a name resolvable by ``repro.distribution.topology.link_by_name``
+    #: (``proof partition --link auto`` picks this)
+    interconnect: str = "pcie-gen4-x16"
 
     # ------------------------------------------------------------------
     def matrix_peak(self, dtype: DataType) -> float:
@@ -175,6 +179,39 @@ class HardwareSpec:
             active_partitions=parts,
         )
 
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict; enum-keyed mappings become value-keyed."""
+        out: Dict[str, object] = {}
+        for f in dataclasses.fields(self):
+            val = getattr(self, f.name)
+            if f.name in ("peak_matrix_flops", "peak_vector_flops",
+                          "class_efficiency", "memory_efficiency"):
+                out[f.name] = {k.value: v for k, v in val.items()}
+            elif f.name == "mma_tile":
+                out[f.name] = list(val)
+            else:
+                out[f.name] = val
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "HardwareSpec":
+        """Inverse of :meth:`to_dict` (exact round trip)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        kwargs: Dict[str, object] = {
+            k: v for k, v in data.items() if k in known}
+        for key in ("peak_matrix_flops", "peak_vector_flops"):
+            if key in kwargs:
+                kwargs[key] = {DataType(k): float(v)
+                               for k, v in kwargs[key].items()}
+        for key in ("class_efficiency", "memory_efficiency"):
+            if key in kwargs:
+                kwargs[key] = {OpClass(k): float(v)
+                               for k, v in kwargs[key].items()}
+        if "mma_tile" in kwargs:
+            kwargs["mma_tile"] = tuple(kwargs["mma_tile"])
+        return cls(**kwargs)
+
 
 def _gpu_eff(**overrides: float) -> Dict[OpClass, float]:
     eff = dict(_DEFAULT_CLASS_EFF)
@@ -213,6 +250,7 @@ _add(HardwareSpec(
     compute_saturation_flop=6e8,
     memory_saturation_bytes=8e6,
     mma_tile=(64, 64, 32),
+    interconnect="nvlink3",     # SXM boards ship on NVLink meshes
 ))
 
 # --- Desktop GPU -----------------------------------------------------------
@@ -272,6 +310,7 @@ _add(HardwareSpec(
     mma_tile=(32, 32, 16),
     power_idle_w=0.9, power_per_compute_mhz=0.0105,
     power_per_memory_mhz=0.0021, power_cpu_cluster_w=0.84,
+    interconnect="pcie-gen3-x8",
 ))
 
 _add(HardwareSpec(
@@ -297,6 +336,7 @@ _add(HardwareSpec(
     mma_tile=(32, 32, 16),
     power_idle_w=1.17, power_per_compute_mhz=0.02406,
     power_per_memory_mhz=0.00281, power_cpu_cluster_w=0.84,
+    interconnect="pcie-gen3-x8",
 ))
 
 # --- Edge CPU --------------------------------------------------------------
@@ -317,6 +357,7 @@ _add(HardwareSpec(
                               depthwise_conv=0.45),
     memory_efficiency=_mem_eff(data_movement=0.50),
     mma_tile=(8, 8, 8),
+    interconnect="gige",        # Pi clusters federate over ethernet
 ))
 
 # --- Mobile NPU ------------------------------------------------------------

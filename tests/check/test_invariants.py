@@ -5,7 +5,9 @@ from repro.check.counting import CountingExecutor
 from repro.check.invariants import (check_cache_roundtrip,
                                     check_cost_additivity,
                                     check_counting_executor,
-                                    check_mapping_bijectivity, run_invariants)
+                                    check_mapping_bijectivity,
+                                    check_partition_conservation,
+                                    run_invariants)
 from repro.ir.builder import GraphBuilder
 from repro.models.registry import build_model
 
@@ -64,6 +66,13 @@ class TestZooModel:
     def test_all_invariants_on_tiny_resnet(self):
         g = build_model("resnet50", batch_size=1, image_size=32)
         results = run_invariants({"resnet50": g})
-        assert len(results) == 4
+        assert len(results) == 5
+        assert "partition-conservation" in {r.invariant for r in results}
         for r in results:
             assert r.ok, r.describe()
+
+    def test_partition_conservation_standalone(self):
+        g = build_model("mobilenetv2-10", batch_size=1, image_size=32)
+        result = check_partition_conservation(g)
+        assert result.invariant == "partition-conservation"
+        assert result.ok, result.describe()

@@ -1,0 +1,47 @@
+"""Shared fixtures: synthetic and real single-device profiles."""
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro.core.report import EndToEnd, LayerProfile, ProfileReport
+
+
+def make_report(latencies: Sequence[float],
+                op_classes: Optional[Sequence[str]] = None,
+                write_bytes: float = 1e6,
+                read_bytes: float = 2e6,
+                flop: float = 1e9) -> ProfileReport:
+    """A synthetic profile: one execution layer per latency entry."""
+    layers: List[LayerProfile] = []
+    for i, lat in enumerate(latencies):
+        cls = op_classes[i] if op_classes else "conv"
+        layers.append(LayerProfile(
+            name=f"layer{i}", kind="execution", op_class=cls,
+            latency_seconds=lat, flop=flop,
+            read_bytes=read_bytes, write_bytes=write_bytes))
+    total = sum(latencies)
+    return ProfileReport(
+        model_name="synthetic", backend_name="trt-sim",
+        platform_name="a100", precision="float16", batch_size=8,
+        metric_source="predicted", layers=layers,
+        end_to_end=EndToEnd(latency_seconds=total,
+                            flop=flop * len(layers),
+                            memory_bytes=(read_bytes + write_bytes)
+                            * len(layers), batch_size=8),
+        peak_flops=312e12, peak_bandwidth=1368e9)
+
+
+@pytest.fixture(scope="session")
+def resnet_report():
+    from repro.core.profiler import Profiler
+    from repro.models import build_model
+    return Profiler("trt-sim", "a100", "fp16").profile(
+        build_model("resnet50", batch_size=32))
+
+
+@pytest.fixture(scope="session")
+def vit_report():
+    from repro.core.profiler import Profiler
+    from repro.models import build_model
+    return Profiler("trt-sim", "a100", "fp16").profile(
+        build_model("vit-tiny", batch_size=32))

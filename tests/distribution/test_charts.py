@@ -1,0 +1,52 @@
+"""Chart renderer smoke tests (SVG structure, text formatting)."""
+import pytest
+
+from repro.distribution import (format_distribution_report,
+                                format_timeline_text, profile_partitioned,
+                                render_device_rooflines_svg,
+                                render_distribution_html,
+                                render_timeline_svg)
+
+
+@pytest.fixture(scope="module")
+def partitioned(resnet_report):
+    return profile_partitioned(resnet_report, 4, strategy="hybrid")
+
+
+def test_timeline_svg(partitioned):
+    _, _, sched = partitioned
+    svg = render_timeline_svg(sched, title="test")
+    assert svg.startswith("<svg")
+    assert svg.count("<rect") > 4 * 3      # several segments per device
+    assert "dev0" in svg and "dev3" in svg
+
+def test_timeline_text(partitioned):
+    _, _, sched = partitioned
+    text = format_timeline_text(sched)
+    lines = [l for l in text.splitlines() if l.startswith("dev")]
+    assert len(lines) == 4
+    assert any("#" in l for l in lines)    # compute glyphs present
+
+
+def test_device_rooflines_svg(partitioned):
+    dist, _, _ = partitioned
+    svg = render_device_rooflines_svg(dist)
+    assert svg.startswith("<svg")
+    assert "aggregate" in svg
+
+
+def test_format_report_headlines(partitioned):
+    dist, _, _ = partitioned
+    text = format_distribution_report(dist)
+    assert "parallel efficiency" in text
+    assert "resnet50" in text
+    assert "hybrid" in text
+    assert "device" in text
+
+
+def test_html_report(partitioned):
+    dist, _, sched = partitioned
+    html = render_distribution_html(dist, sched)
+    assert html.startswith("<!DOCTYPE html>") or "<html" in html
+    assert "<svg" in html
+    assert dist.model_name in html

@@ -1,0 +1,200 @@
+"""Partitioning strategy tests: balance, conservation, edge cases."""
+import pytest
+
+from repro.distribution.partition import (PartitionPlan, balanced_cuts,
+                                          _hybrid_factors, partition_report)
+from repro.distribution.topology import NVLINK, PCIE_GEN4, make_topology
+
+from .conftest import make_report
+
+
+def totals_match(plan: PartitionPlan) -> bool:
+    report = plan.report
+    base = (sum(l.flop for l in report.layers),
+            sum(l.read_bytes for l in report.layers),
+            sum(l.write_bytes for l in report.layers))
+    return all(got == pytest.approx(want, rel=1e-9)
+               for got, want in zip(plan.totals(), base))
+
+
+class TestBalancedCuts:
+    def test_dp_beats_greedy_on_crafted_vector(self):
+        """Greedy first-fit splits [4,3,3,4] as [4,3,3 | 4] -> max 10;
+        the exact DP finds [4,3 | 3,4] -> max 7."""
+        cuts = balanced_cuts([4, 3, 3, 4], 2)
+        assert cuts == [2]
+        bounds = [0] + cuts + [4]
+        sums = [sum([4, 3, 3, 4][a:b]) for a, b in zip(bounds, bounds[1:])]
+        assert max(sums) == 7
+
+    def test_optimal_bottleneck_on_skewed_vector(self):
+        costs = [9, 1, 1, 1, 1, 1, 1, 9]
+        cuts = balanced_cuts(costs, 3)
+        bounds = [0] + cuts + [len(costs)]
+        sums = [sum(costs[a:b]) for a, b in zip(bounds, bounds[1:])]
+        assert max(sums) == 9   # the provable optimum: one giant alone
+
+    def test_single_interval(self):
+        assert balanced_cuts([1, 2, 3], 1) == []
+
+    def test_more_intervals_than_items(self):
+        cuts = balanced_cuts([5.0, 5.0], 4)
+        assert len(cuts) == 3
+        assert all(0 <= c <= 2 for c in cuts)
+
+    def test_empty_costs(self):
+        assert balanced_cuts([], 3) == [0, 0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            balanced_cuts([1.0], 0)
+
+    def test_never_worse_than_mean(self):
+        costs = [0.001 * (i % 7 + 1) for i in range(40)]
+        for n in (2, 3, 5, 8):
+            cuts = balanced_cuts(costs, n)
+            bounds = [0] + cuts + [len(costs)]
+            sums = [sum(costs[a:b]) for a, b in zip(bounds, bounds[1:])]
+            assert max(sums) >= sum(costs) / n - 1e-12
+            assert sum(sums) == pytest.approx(sum(costs))
+
+
+class TestDegenerate:
+    def test_single_device_identity(self):
+        report = make_report([1e-3] * 6)
+        for strategy in ("pipeline", "tensor", "hybrid"):
+            plan = partition_report(report, 1, strategy=strategy)
+            assert plan.num_devices == 1
+            assert plan.transfers == []
+            assert plan.devices[0].compute_seconds == pytest.approx(
+                report.end_to_end.latency_seconds)
+            assert totals_match(plan)
+
+    def test_single_layer_model(self):
+        report = make_report([2e-3])
+        pipe = partition_report(report, 4, strategy="pipeline")
+        assert pipe.num_stages == 4
+        # three stages are empty; the work all lands somewhere once
+        assert totals_match(pipe)
+        tensor = partition_report(report, 4, strategy="tensor")
+        assert totals_match(tensor)
+        assert tensor.devices[0].compute_seconds == pytest.approx(
+            2e-3 / 4)
+
+    def test_zero_byte_transfers(self):
+        report = make_report([1e-3] * 4, write_bytes=0.0)
+        plan = partition_report(report, 4, strategy="pipeline")
+        for t in plan.transfers:
+            assert t.nbytes == 0.0
+            assert t.seconds == 0.0
+        tensor = partition_report(report, 4, strategy="tensor")
+        # zero-output layers never emit collectives
+        assert all(not t.collective for t in tensor.transfers)
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(ValueError):
+            partition_report(make_report([]), 2)
+
+    def test_invalid_args(self):
+        report = make_report([1e-3] * 4)
+        with pytest.raises(ValueError):
+            partition_report(report, 0)
+        with pytest.raises(ValueError):
+            partition_report(report, 2, strategy="voodoo")
+        topo = make_topology("ring", 4, NVLINK)
+        with pytest.raises(ValueError):
+            partition_report(report, 2, topology=topo)
+
+
+class TestConservation:
+    @pytest.mark.parametrize("strategy", ["pipeline", "tensor", "hybrid"])
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_synthetic(self, strategy, n):
+        report = make_report(
+            [1e-3, 2e-3, 5e-4, 3e-3, 1e-3, 2e-3],
+            op_classes=["conv", "matmul", "softmax", "pointwise_conv",
+                        "normalization", "matmul"])
+        plan = partition_report(report, n, strategy=strategy)
+        assert totals_match(plan)
+
+    @pytest.mark.parametrize("strategy", ["pipeline", "tensor", "hybrid"])
+    def test_real_model(self, resnet_report, strategy):
+        plan = partition_report(resnet_report, 4, strategy=strategy)
+        assert totals_match(plan)
+
+
+class TestPipeline:
+    def test_stages_cover_layers_in_order(self, resnet_report):
+        plan = partition_report(resnet_report, 4, strategy="pipeline")
+        names = [l.name for d in plan.devices for l in d.layers]
+        assert names == [l.name for l in resnet_report.layers]
+
+    def test_egress_between_adjacent_stages(self):
+        report = make_report([1e-3] * 8)
+        plan = partition_report(report, 4, strategy="pipeline")
+        sends = [t for t in plan.transfers if not t.collective]
+        assert len(sends) == 3
+        assert [(t.src, t.dst) for t in sends] == [(0, 1), (1, 2), (2, 3)]
+        assert all(t.nbytes == 1e6 for t in sends)
+
+
+class TestTensor:
+    def test_unshardable_layers_replicate_in_time(self):
+        report = make_report([1e-3, 1e-3],
+                             op_classes=["matmul", "normalization"])
+        plan = partition_report(report, 4, strategy="tensor")
+        for dev in plan.devices:
+            matmul, norm = dev.layers
+            assert matmul.compute_seconds == pytest.approx(1e-3 / 4)
+            assert not matmul.replicated
+            assert norm.compute_seconds == pytest.approx(1e-3)
+            assert norm.replicated
+            # unique work still divides: conservation over replication
+            assert norm.flop == pytest.approx(1e9 / 4)
+
+    def test_megatron_pairing_collective_count(self):
+        report = make_report([1e-3] * 4,
+                             op_classes=["matmul"] * 4)
+        plan = partition_report(report, 4, strategy="tensor")
+        collectives = [t for t in plan.transfers if t.collective]
+        assert len(collectives) == 2      # layers 1 and 3 (row-parallel)
+        assert {t.layer for t in collectives} == {"layer1", "layer3"}
+
+    def test_unpaired_trailing_layer_reduces(self):
+        report = make_report([1e-3] * 3, op_classes=["matmul"] * 3)
+        plan = partition_report(report, 4, strategy="tensor")
+        collectives = [t for t in plan.transfers if t.collective]
+        assert {t.layer for t in collectives} == {"layer1", "layer2"}
+
+    def test_collective_cost_matches_topology(self):
+        report = make_report([1e-3] * 2, op_classes=["matmul"] * 2)
+        topo = make_topology("ring", 4, PCIE_GEN4)
+        plan = partition_report(report, 4, strategy="tensor", topology=topo)
+        coll = next(t for t in plan.transfers if t.collective)
+        assert coll.seconds == pytest.approx(
+            topo.allreduce_seconds(1e6, 4))
+        assert coll.participants == (0, 1, 2, 3)
+
+
+class TestHybrid:
+    def test_factors(self):
+        assert _hybrid_factors(1) == (1, 1)
+        assert _hybrid_factors(4) == (2, 2)
+        assert _hybrid_factors(8) == (4, 2)
+        assert _hybrid_factors(12) == (4, 3)
+        assert _hybrid_factors(7) == (7, 1)   # prime: pure pipeline
+
+    def test_grid_numbering(self):
+        report = make_report([1e-3] * 8)
+        plan = partition_report(report, 4, strategy="hybrid")
+        assert plan.num_stages == 2 and plan.shards_per_stage == 2
+        grid = {(d.stage, d.shard): d.device for d in plan.devices}
+        assert grid == {(0, 0): 0, (0, 1): 1, (1, 0): 2, (1, 1): 3}
+
+    def test_egress_is_sliced_across_shards(self):
+        report = make_report([1e-3] * 8)
+        plan = partition_report(report, 4, strategy="hybrid")
+        sends = [t for t in plan.transfers if not t.collective]
+        # each shard forwards its half of the boundary activation
+        assert len(sends) == 2
+        assert all(t.nbytes == pytest.approx(5e5) for t in sends)

@@ -1,0 +1,95 @@
+"""Schedule simulator tests, incl. the analytic cross-check."""
+import pytest
+
+from repro.distribution.partition import partition_report
+from repro.distribution.schedule import simulate
+from repro.distribution.topology import NVLINK, make_topology
+
+from .conftest import make_report
+
+
+class TestClosedFormCrossCheck:
+    """On a uniform model the simulator must agree exactly with the
+    closed-form pipeline algebra."""
+
+    def test_steady_state_equals_bottleneck_stage(self):
+        per_layer = 1e-3
+        report = make_report([per_layer] * 8, write_bytes=1e6)
+        plan = partition_report(report, 4, strategy="pipeline")
+        sched = simulate(plan, microbatches=12)
+        stage = 2 * per_layer          # 8 layers over 4 stages
+        send = NVLINK.transfer_seconds(1e6)
+        assert sched.iteration_seconds == pytest.approx(stage + send)
+
+    def test_fill_latency_is_sum_of_stages(self):
+        per_layer = 1e-3
+        report = make_report([per_layer] * 8, write_bytes=1e6)
+        plan = partition_report(report, 4, strategy="pipeline")
+        sched = simulate(plan)
+        send = NVLINK.transfer_seconds(1e6)
+        # 4 stages of compute, 3 inter-stage sends before the last stage
+        assert sched.fill_latency_seconds == pytest.approx(
+            4 * 2 * per_layer + 3 * send)
+
+    def test_zero_transfer_uniform_pipeline_is_perfect(self):
+        report = make_report([1e-3] * 8, write_bytes=0.0)
+        plan = partition_report(report, 4, strategy="pipeline")
+        sched = simulate(plan, microbatches=10)
+        assert sched.iteration_seconds == pytest.approx(2e-3)
+        assert sched.throughput_speedup == pytest.approx(4.0)
+        assert sched.parallel_efficiency == pytest.approx(1.0)
+
+    def test_tensor_iteration_is_compute_plus_collectives(self):
+        report = make_report([1e-3] * 4, op_classes=["matmul"] * 4)
+        topo = make_topology("ring", 4, NVLINK)
+        plan = partition_report(report, 4, strategy="tensor", topology=topo)
+        sched = simulate(plan, microbatches=4)
+        expected = 4 * 1e-3 / 4 + 2 * topo.allreduce_seconds(1e6, 4)
+        assert sched.iteration_seconds == pytest.approx(expected)
+
+
+class TestTimelines:
+    def test_segments_ordered_and_disjoint_per_device(self, resnet_report):
+        plan = partition_report(resnet_report, 4, strategy="hybrid")
+        sched = simulate(plan)
+        for tl in sched.timelines:
+            for a, b in zip(tl.segments, tl.segments[1:]):
+                assert b.start >= a.end - 1e-15
+
+    def test_busy_plus_idle_equals_span(self, resnet_report):
+        plan = partition_report(resnet_report, 4, strategy="pipeline")
+        sched = simulate(plan)
+        span = sched.span_seconds
+        for tl in sched.timelines:
+            busy = tl.compute_seconds + tl.comm_seconds
+            assert busy + tl.idle_seconds(span) == pytest.approx(span)
+            assert tl.end <= span + 1e-15
+
+    def test_one_timeline_per_device(self, resnet_report):
+        plan = partition_report(resnet_report, 6, strategy="pipeline")
+        sched = simulate(plan)
+        assert sorted(t.device for t in sched.timelines) == list(range(6))
+
+    def test_completions_monotonic(self, resnet_report):
+        plan = partition_report(resnet_report, 4, strategy="pipeline")
+        sched = simulate(plan, microbatches=8)
+        assert len(sched.completions) == 8
+        for a, b in zip(sched.completions, sched.completions[1:]):
+            assert b > a
+
+    def test_default_microbatch_count(self, resnet_report):
+        plan = partition_report(resnet_report, 4, strategy="pipeline")
+        assert simulate(plan).microbatches == 8
+        tensor = partition_report(resnet_report, 4, strategy="tensor")
+        assert simulate(tensor).microbatches == 2
+
+    def test_invalid_microbatches(self, resnet_report):
+        plan = partition_report(resnet_report, 2, strategy="pipeline")
+        with pytest.raises(ValueError):
+            simulate(plan, microbatches=0)
+
+    def test_bubble_fraction_bounds(self, resnet_report):
+        plan = partition_report(resnet_report, 4, strategy="pipeline")
+        sched = simulate(plan)
+        assert 0.0 <= sched.bubble_fraction < 1.0
+        assert 0.0 <= sched.communication_fraction < 1.0

@@ -1,0 +1,144 @@
+"""Interconnect link and topology cost-model tests."""
+import pytest
+
+from repro.distribution.topology import (GIGE, Interconnect, LINKS, NVLINK,
+                                         PCIE_GEN3, PCIE_GEN4, Topology,
+                                         link_by_name, link_names,
+                                         make_topology)
+
+
+class TestInterconnect:
+    def test_transfer_cost(self):
+        assert NVLINK.transfer_seconds(300e9) == pytest.approx(
+            1.0 + NVLINK.latency_seconds)
+        assert NVLINK.transfer_seconds(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            NVLINK.transfer_seconds(-1)
+
+    def test_nvlink_faster_than_pcie(self):
+        assert NVLINK.transfer_seconds(1e9) < PCIE_GEN4.transfer_seconds(1e9)
+
+    def test_link_ordering(self):
+        costs = [l.transfer_seconds(1e9)
+                 for l in (NVLINK, PCIE_GEN4, PCIE_GEN3, GIGE)]
+        assert costs == sorted(costs)
+
+
+class TestAllreduce:
+    def test_per_hop_latency_charged_every_round(self):
+        """The satellite fix: 2(N-1) rounds each pay the fixed latency."""
+        n, nbytes = 8, 4e6
+        expected = 2 * (n - 1) * (
+            NVLINK.latency_seconds + nbytes / n / NVLINK.bandwidth)
+        assert NVLINK.allreduce_seconds(nbytes, n) == pytest.approx(expected)
+
+    def test_latency_dominates_small_tensors(self):
+        """A tiny all-reduce costs ~2(N-1) latencies, not ~one."""
+        n = 8
+        t = NVLINK.allreduce_seconds(8, n)      # 8 bytes
+        assert t > (2 * (n - 1) - 1) * NVLINK.latency_seconds
+
+    def test_degenerate_and_zero(self):
+        assert NVLINK.allreduce_seconds(1e9, 1) == 0.0
+        assert NVLINK.allreduce_seconds(0, 8) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            NVLINK.allreduce_seconds(-1, 4)
+        with pytest.raises(ValueError):
+            NVLINK.allreduce_seconds(1e6, 0)
+
+
+class TestLinkRegistry:
+    def test_lookup_and_aliases(self):
+        assert link_by_name("nvlink") is NVLINK
+        assert link_by_name("NVLink3") is NVLINK
+        assert link_by_name("pcie") is PCIE_GEN4
+        assert link_by_name("pcie3") is PCIE_GEN3
+        assert link_by_name("eth") is GIGE
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            link_by_name("smoke-signals")
+
+    def test_names_cover_registry(self):
+        names = link_names()
+        for key in LINKS:
+            assert key in names
+
+
+class TestTopologyHops:
+    def test_ring_min_distance(self):
+        t = Topology("ring", 8, NVLINK)
+        assert t.hops(0, 1) == 1
+        assert t.hops(0, 7) == 1        # wraps around
+        assert t.hops(0, 4) == 4
+        assert t.hops(3, 3) == 0
+
+    def test_fully_connected_single_hop(self):
+        t = Topology("fully-connected", 8, NVLINK)
+        assert t.hops(0, 7) == 1
+
+    def test_host_bridged_two_hops(self):
+        t = Topology("host-bridged", 4, PCIE_GEN4)
+        assert t.hops(0, 3) == 2
+
+    def test_out_of_range(self):
+        t = Topology("ring", 4, NVLINK)
+        with pytest.raises(ValueError):
+            t.hops(0, 4)
+
+
+class TestTopologyTransfer:
+    def test_per_hop_latency(self):
+        t = Topology("ring", 8, NVLINK)
+        far = t.transfer_seconds(0, 4, 1e6)
+        near = t.transfer_seconds(0, 1, 1e6)
+        assert far - near == pytest.approx(3 * NVLINK.latency_seconds)
+
+    def test_host_bridge_contention(self):
+        t = Topology("host-bridged", 4, PCIE_GEN4)
+        alone = t.transfer_seconds(0, 1, 1e8)
+        contended = t.transfer_seconds(0, 1, 1e8, concurrent=4)
+        assert contended > alone
+        # only the bandwidth term scales, not the latency term
+        assert contended - alone == pytest.approx(3 * 1e8 / PCIE_GEN4.bandwidth)
+
+    def test_ring_has_no_contention(self):
+        t = Topology("ring", 4, NVLINK)
+        assert t.transfer_seconds(0, 1, 1e8, concurrent=4) == \
+            t.transfer_seconds(0, 1, 1e8)
+
+    def test_zero_and_self(self):
+        t = Topology("ring", 4, NVLINK)
+        assert t.transfer_seconds(0, 1, 0) == 0.0
+        assert t.transfer_seconds(2, 2, 1e9) == 0.0
+
+    def test_host_bridged_allreduce_serializes(self):
+        fc = Topology("fully-connected", 4, PCIE_GEN4)
+        hb = Topology("host-bridged", 4, PCIE_GEN4)
+        assert hb.allreduce_seconds(4e6) > fc.allreduce_seconds(4e6)
+
+    def test_allreduce_group_validation(self):
+        t = Topology("ring", 4, NVLINK)
+        with pytest.raises(ValueError):
+            t.allreduce_seconds(1e6, 8)
+        assert t.allreduce_seconds(1e6) == NVLINK.allreduce_seconds(1e6, 4)
+
+
+class TestFactory:
+    def test_kind_aliases(self):
+        assert make_topology("fc", 4, NVLINK).kind == "fully-connected"
+        assert make_topology("host", 4, PCIE_GEN4).kind == "host-bridged"
+        assert make_topology("Fully_Connected", 4, NVLINK).kind == \
+            "fully-connected"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_topology("torus", 4, NVLINK)
+
+    def test_describe_mentions_link(self):
+        text = make_topology("ring", 4, NVLINK).describe()
+        assert "ring" in text and "nvlink3" in text

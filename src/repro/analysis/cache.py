@@ -144,9 +144,19 @@ class AnalysisCache:
         """
         fp = self.fingerprint(graph)
         if graph.value_info:
-            # already inferred — seed the tier so sibling graphs hit
+            # already inferred — still a tier lookup, so it must count:
+            # a present entry is a hit, seeding it here is the miss that
+            # lets sibling graphs hit later
+            full = ("shapes", fp)
             with self._lock:
-                self._entries.setdefault(("shapes", fp), graph.value_info)
+                if full in self._entries:
+                    self._entries.move_to_end(full)
+                    self._hits["shapes"] += 1
+                    self._hit_counters["shapes"].inc()
+                else:
+                    self._entries[full] = graph.value_info
+                    self._misses["shapes"] += 1
+                    self._miss_counters["shapes"].inc()
             return fp
         hit, info = self._get("shapes", (fp,))
         if hit:

@@ -1,10 +1,13 @@
 """Seeded random-graph fuzzer + differential runner.
 
-PR 2–4 gave the repo four redundant ways to execute a graph: the legacy
+PR 2–4 gave the repo redundant ways to execute a graph: the legacy
 reference :class:`~repro.ir.executor.Executor` and compiled
 :class:`~repro.ir.plan.ExecutionPlan` objects at optimization levels
-O0/O1/O2.  O0 and O1 rewrites are documented bit-exact; O2 relaxes
-numerics (BatchNorm folding), so it only has to agree within tolerance.
+O0/O1/O2, later joined by O3 (dataflow scheduling + static arena +
+weight pre-packing on top of O2's rewrites).  O0 and O1 rewrites are
+documented bit-exact; O2 relaxes numerics (BatchNorm folding), so it
+only has to agree within tolerance, and O3 inherits exactly that
+budget — its extra machinery is execution strategy, not arithmetic.
 
 :func:`fuzz_graph` composes small Conv/Gemm/pool/elementwise/reshape
 subgraphs with deliberately adversarial attributes — asymmetric pads,
@@ -15,7 +18,7 @@ validated by shape inference and rolled back if rejected, so generation
 always yields a well-formed graph.  Generation is fully deterministic
 in ``(seed, index)``.
 
-:func:`differential_check` runs one graph through all four execution
+:func:`differential_check` runs one graph through all five execution
 paths and additionally cross-checks runtime output shapes/dtypes
 against static shape inference, so inference bugs cannot hide behind an
 executor that happens to agree with itself.
@@ -506,7 +509,10 @@ def differential_check(graph: Graph, seed: int = 0, rtol: float = O2_RTOL,
 
     - runtime output shape/dtype must match static shape inference;
     - O0 and O1 plans must be bit-identical to the legacy executor;
-    - O2 plans must agree within ``rtol``/``atol``.
+    - O2 and O3 plans must agree within ``rtol``/``atol``.  O3 shares
+      O2's tolerance budget: its rewrites are O2's, and the scheduler /
+      arena / pre-packing machinery preserves every kernel's IEEE
+      operation sequence.
     """
     problems: List[str] = []
     g = graph.copy()
@@ -523,7 +529,7 @@ def differential_check(graph: Graph, seed: int = 0, rtol: float = O2_RTOL,
             problems.append(
                 f"{name}: executed dtype {arr.dtype} != "
                 f"inferred {info.dtype.value}")
-    for level in (0, 1, 2):
+    for level in (0, 1, 2, 3):
         try:
             got = compile_plan(g, seed=seed, optimize=level).run(feeds)
         except Exception as exc:  # a plan that cannot run is a failure
@@ -537,7 +543,7 @@ def differential_check(graph: Graph, seed: int = 0, rtol: float = O2_RTOL,
             elif level < 2 and not _bit_equal(want, have):
                 problems.append(
                     f"O{level}: {name!r} not bit-identical to executor")
-            elif level == 2 and not _tolerance_equal(want, have, rtol, atol):
+            elif level >= 2 and not _tolerance_equal(want, have, rtol, atol):
                 problems.append(
                     f"O{level}: {name!r} outside rtol={rtol} of executor")
     return problems

@@ -74,10 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="append automated optimization guidance")
     run.add_argument("--by-module", type=int, metavar="DEPTH", default=0,
                      help="append a module-level rollup at this depth")
-    run.add_argument("--optimize", type=int, default=1, choices=[0, 1, 2],
+    run.add_argument("--optimize", type=int, default=1,
+                     choices=[0, 1, 2, 3],
                      help="execution-plan optimization level: 0 = none, "
                           "1 = bit-exact fusion + fast kernels (default), "
-                          "2 = + BatchNorm folding (numerics-relaxed)")
+                          "2 = + BatchNorm folding (numerics-relaxed), "
+                          "3 = + dataflow scheduling, static memory "
+                          "arena and weight pre-packing")
     run.add_argument("--execute", action="store_true",
                      help="also compile and run the model on the numpy "
                           "runtime with random feeds, reporting plan "

@@ -114,7 +114,10 @@ class Profiler:
         self.tracer = tracer
         #: optimization level for compiled execution plans (see
         #: ``repro.ir.passes.OPTIMIZE_LEVELS``); level 1 rewrites are
-        #: bit-exact, so it is the default for execution-side work
+        #: bit-exact, so it is the default for execution-side work.
+        #: Level 3 adds dataflow scheduling, a static memory arena and
+        #: weight pre-packing on top of level 2's rewrites (same
+        #: numerics budget as level 2).
         self.optimize = int(optimize)
 
     def _tracer(self):

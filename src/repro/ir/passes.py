@@ -23,8 +23,12 @@ perform are value-preserving:
 :func:`optimize_graph` sequences them into the leveled pipeline the
 execution plan compiler uses (level 0 = plan-time shape-constant
 folding only, level 1 = bit-exact fusion, level 2 = adds BatchNorm
-weight folding); the fusion patterns come from :mod:`repro.ir.fusion`,
-the same definitions the backend :class:`FusionPlanner` plans with.
+weight folding, level 3 = the same graph rewrites as level 2 — its
+extra work is plan-compile machinery: dataflow scheduling, static
+arena memory planning and weight pre-packing, see
+:mod:`repro.ir.schedule` / :mod:`repro.ir.memplan`); the fusion
+patterns come from :mod:`repro.ir.fusion`, the same definitions the
+backend :class:`FusionPlanner` plans with.
 
 All passes mutate a *copy* unless ``in_place=True`` and return the
 resulting graph.
@@ -609,6 +613,14 @@ OPTIMIZE_LEVELS = {
         "fuse_conv_activations", "fuse_elementwise_chains",
         "eliminate_common_subexpressions", "eliminate_dead_nodes"),
     2: ("eliminate_identities", "fold_shape_constants", "fold_batchnorm",
+        "fuse_conv_activations", "fuse_elementwise_chains",
+        "eliminate_common_subexpressions", "eliminate_dead_nodes"),
+    # O3 runs the same graph rewrites as O2; the extra optimizations
+    # (dataflow scheduling, arena memory planning, weight pre-packing)
+    # live in plan compilation, not graph rewriting.  The level still
+    # fingerprints distinctly (the "O3:" prefix) so cached O3 plans
+    # never alias O2 keys.
+    3: ("eliminate_identities", "fold_shape_constants", "fold_batchnorm",
         "fuse_conv_activations", "fuse_elementwise_chains",
         "eliminate_common_subexpressions", "eliminate_dead_nodes"),
 }

@@ -30,6 +30,24 @@ class TestTiers:
         assert cache.stats()["shapes"]["hits"] == 1
         assert set(g2.value_info) == set(g1.value_info)
 
+    def test_shapes_tier_counts_every_lookup(self):
+        """The already-inferred fast path must still record hit/miss.
+
+        Profiler graphs usually arrive with ``value_info`` filled, so a
+        lookup-accounting hole on that path made the shapes tier report
+        0/0 forever — the precision-sweep benchmark then showed dead
+        tiers that were actually doing all the work.
+        """
+        cache = AnalysisCache()
+        g = small_graph()           # builder output has value_info set
+        assert g.value_info
+        cache.ensure_shapes(g)      # seeds the tier: one miss
+        assert cache.stats()["shapes"] == {"hits": 0, "misses": 1}
+        cache.ensure_shapes(g)      # present now: one hit
+        g2 = from_json(to_json(g))  # sibling with value_info intact
+        cache.ensure_shapes(g2)
+        assert cache.stats()["shapes"] == {"hits": 2, "misses": 1}
+
     def test_arep_memoized_per_precision(self):
         cache = AnalysisCache()
         g = small_graph()

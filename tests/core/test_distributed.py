@@ -37,6 +37,47 @@ def test_shim_symbols_are_the_new_objects():
     assert shim._split_balanced([1.0, 1.0], 2) == [1]
 
 
+def _report():
+    from repro.core.report import EndToEnd, LayerProfile, ProfileReport
+    lats = [2e-4, 5e-4, 1e-4, 8e-4, 3e-4, 6e-4]
+    classes = ["conv", "matmul", "norm", "matmul", "activation", "matmul"]
+    layers = [LayerProfile(name=f"layer{i}", kind="execution",
+                           op_class=cls, latency_seconds=lat, flop=1e9,
+                           read_bytes=2e6, write_bytes=1e6)
+              for i, (lat, cls) in enumerate(zip(lats, classes))]
+    return ProfileReport(
+        model_name="synthetic", backend_name="trt-sim",
+        platform_name="a100", precision="float16", batch_size=8,
+        metric_source="predicted", layers=layers,
+        end_to_end=EndToEnd(latency_seconds=sum(lats),
+                            flop=1e9 * len(layers),
+                            memory_bytes=3e6 * len(layers), batch_size=8),
+        peak_flops=312e12, peak_bandwidth=1368e9)
+
+
+def test_shim_estimator_results_match_new_module():
+    """Estimates computed through the shim are numerically identical to
+    the ones from repro.distribution.estimators."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        from repro.core import distributed as shim
+    from repro.distribution import estimators as new
+    report = _report()
+    for devices in (1, 2, 4):
+        old_pp = shim.estimate_pipeline(report, devices, shim.PCIE_GEN4)
+        new_pp = new.estimate_pipeline(report, devices, new.PCIE_GEN4)
+        assert old_pp.iteration_seconds == new_pp.iteration_seconds
+        assert old_pp.fill_latency_seconds == new_pp.fill_latency_seconds
+        assert old_pp.throughput_speedup == new_pp.throughput_speedup
+        assert [s.device for s in old_pp.stages] == \
+            [s.device for s in new_pp.stages]
+        old_tp = shim.estimate_tensor_parallel(report, devices)
+        new_tp = new.estimate_tensor_parallel(report, devices)
+        assert old_tp.iteration_seconds == new_tp.iteration_seconds
+        assert old_tp.allreduce_seconds == new_tp.allreduce_seconds
+        assert old_tp.latency_speedup == new_tp.latency_speedup
+
+
 def test_core_package_reexports_do_not_warn():
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")

@@ -375,9 +375,17 @@ class TestOptimizeGraphPipeline:
 
     def test_unknown_level_raises(self):
         with pytest.raises(ValueError, match="unknown optimization level"):
-            plan_pipeline(3)
+            plan_pipeline(4)
         with pytest.raises(ValueError, match="unknown optimization level"):
             optimize_graph(conv_bn_graph(), level=-1)
+
+    def test_level_three_rewrites_match_level_two(self):
+        # O3's extra work is plan-compile machinery (scheduling, arena,
+        # pre-packing); the graph rewrite pipeline is O2's, but the
+        # fingerprint must still differ so cached plans never alias
+        assert plan_pipeline(3) == plan_pipeline(2)
+        assert pipeline_fingerprint(3) != pipeline_fingerprint(2)
+        assert pipeline_fingerprint(3).startswith("O3:")
 
     def test_fingerprint_names_level_and_passes(self):
         fps = {pipeline_fingerprint(lvl) for lvl in OPTIMIZE_LEVELS}

@@ -1,0 +1,102 @@
+"""Dataflow schedule construction (:mod:`repro.ir.schedule`).
+
+The schedule is a pure function of the step dependency sets, so every
+property here is checked structurally — no plans, graphs or arrays.
+"""
+import numpy as np
+import pytest
+
+from repro.ir.schedule import build_schedule
+
+
+def flatten(schedule):
+    return [i for level in schedule.levels for chain in level for i in chain]
+
+
+class TestChains:
+    def test_straight_line_collapses_to_one_chain(self):
+        # 0 -> 1 -> 2 -> 3, each sole producer/consumer of the next
+        s = build_schedule([set(), {0}, {1}, {2}])
+        assert s.num_levels == 1
+        assert s.num_chains == 1
+        assert s.levels[0][0] == (0, 1, 2, 3)
+        assert s.order == [0, 1, 2, 3]
+
+    def test_fanout_breaks_the_chain(self):
+        # 0 feeds both 1 and 2: 0 may not be fused into either
+        s = build_schedule([set(), {0}, {0}])
+        assert s.num_levels == 2
+        assert s.levels[0] == [(0,)]
+        assert sorted(s.levels[1]) == [(1,), (2,)]
+
+    def test_fanin_breaks_the_chain(self):
+        # 2 consumes both 0 and 1: neither may absorb it
+        s = build_schedule([set(), set(), {0, 1}])
+        assert s.num_levels == 2
+        assert sorted(s.levels[0]) == [(0,), (1,)]
+        assert s.levels[1] == [(2,)]
+
+
+class TestLevels:
+    def test_diamond(self):
+        #     1
+        #   /   \
+        # 0       3
+        #   \   /
+        #     2
+        s = build_schedule([set(), {0}, {0}, {1, 2}])
+        assert [sorted(level) for level in s.levels] == \
+            [[(0,)], [(1,), (2,)], [(3,)]]
+        assert s.max_width == 2
+
+    def test_level_members_are_mutually_independent(self):
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            n = int(rng.integers(1, 40))
+            deps = [set(int(d) for d in rng.choice(i, size=rng.integers(0, min(i, 3) + 1), replace=False)) if i else set()
+                    for i in range(n)]
+            s = build_schedule(deps)
+            # transitive closure of dependencies
+            reach = [set(ds) for ds in deps]
+            for i in range(n):
+                for d in list(reach[i]):
+                    reach[i] |= reach[d]
+            for level in s.levels:
+                for a in range(len(level)):
+                    for b in range(a + 1, len(level)):
+                        for x in level[a]:
+                            for y in level[b]:
+                                assert x not in reach[y] and y not in reach[x]
+
+    def test_order_is_a_valid_topological_order(self):
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            n = int(rng.integers(1, 40))
+            deps = [set(int(d) for d in rng.choice(i, size=rng.integers(0, min(i, 3) + 1), replace=False)) if i else set()
+                    for i in range(n)]
+            s = build_schedule(deps)
+            order = s.order
+            assert sorted(order) == list(range(n))
+            pos = {idx: k for k, idx in enumerate(order)}
+            for i, ds in enumerate(deps):
+                for d in ds:
+                    assert pos[d] < pos[i]
+
+    def test_levels_sorted_widest_chain_first(self):
+        # two independent chains of different length in one level
+        s = build_schedule([set(), {0}, set()])
+        lens = [len(c) for c in s.levels[0]]
+        assert lens == sorted(lens, reverse=True)
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        s = build_schedule([])
+        assert s.num_levels == 0
+        assert s.num_chains == 0
+        assert s.max_width == 0
+        assert s.order == []
+
+    def test_singleton(self):
+        s = build_schedule([set()])
+        assert s.levels == [[(0,)]]

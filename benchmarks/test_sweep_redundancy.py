@@ -1,0 +1,191 @@
+"""Benchmark: layer-granular redundancy across sweeps and a model zoo.
+
+ISSUE 9's acceptance criteria, each with a hard floor:
+
+* a warm **cross-model** pass over the zoo reuses >80% of its per-layer
+  records through the layer tier (MobileNetV2/ShuffleNetV2/EfficientNet
+  repeat near-identical conv blocks, so a shared
+  :class:`~repro.analysis.layerstore.LayerStore` deduplicates them), and
+* a five-precision ``proof sweep`` over one model costs at most 1.5x a
+  single cold point — sibling precisions assemble their entries from
+  the first point's donated structure instead of re-running compile +
+  mapping.
+
+Correctness rides along and runs in smoke mode too
+(``PROOF_BENCH_SMOKE=1``): layer-store-warm profiles must be
+``report_digest``-**bit-identical** to cold (store-less) profiles for
+every zoo model and every sweep precision.  Timing runs refresh the
+``layer_cache`` section of ``BENCH_plan.json``.
+"""
+import json
+import os
+import time
+
+import pytest
+
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.layerstore import LayerStore
+from repro.core.profiler import Profiler
+from repro.core.sweep import sweep_batch_sizes
+from repro.ir import report_digest
+from repro.models.registry import MODEL_ZOO
+
+SMOKE = os.environ.get("PROOF_BENCH_SMOKE") == "1"
+BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_plan.json")
+
+#: a conv zoo that shares block shapes across architectures
+ZOO = ["mobilenetv2-05", "shufflenetv2-10", "efficientnet-b0"]
+SWEEP_MODEL = "shufflenetv2-10"
+PRECISIONS = ("fp32", "fp16", "bf16", "int8", "uint8")
+IMAGE_SIZE = 64
+
+LAYER_HIT_FLOOR = 0.80          # warm cross-model layer-tier hit rate
+SWEEP_RATIO_CEIL = 1.5          # 5-precision sweep vs one cold point
+REPS = 5
+
+
+def build(key):
+    return MODEL_ZOO[key].build(batch_size=1, image_size=IMAGE_SIZE)
+
+
+def _best_of(fn, reps=REPS):
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def _update_bench(section, payload):
+    doc = {}
+    if os.path.exists(BENCH_PATH):
+        with open(BENCH_PATH, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    doc[section] = payload
+    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _rate(stats, tier):
+    s = stats[tier]
+    total = s["hits"] + s["misses"]
+    return s["hits"] / total if total else 0.0
+
+
+# ----------------------------------------------------------------------
+# correctness (runs in smoke mode too)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("key", sorted(MODEL_ZOO))
+def test_zoo_layer_store_bit_identity(key):
+    """A store-warm profile must be report_digest-identical to a cold
+    (store-less) one for every zoo model: shared layer records may
+    change *when* numbers are computed, never *what* they are."""
+    reduced = {"distilbert": dict(seq_len=32),
+               "sd-unet": dict(latent_size=16),
+               "swin-tiny": {}, "swin-small": {}, "swin-base": {}}
+    kwargs = reduced.get(key, dict(image_size=IMAGE_SIZE))
+    graph = MODEL_ZOO[key].build(batch_size=1, **kwargs)
+    cold = Profiler("trt-sim", "a100",
+                    analysis_cache=False).profile(graph)
+    store = LayerStore()
+    for _ in range(2):                 # second pass runs store-hot
+        cache = AnalysisCache(layer_store=store)
+        warm = Profiler("trt-sim", "a100",
+                        analysis_cache=cache).profile(graph)
+        assert report_digest(warm) == report_digest(cold), \
+            f"{key}: layer-store-warm profile diverges from cold"
+
+
+def test_precision_assembly_bit_identity():
+    """Every sweep precision assembled from the fp32 donor structure
+    must match its own cold profile bit-for-bit."""
+    graph = build(SWEEP_MODEL)
+    cache = AnalysisCache()
+    for precision in PRECISIONS:
+        warm = Profiler("trt-sim", "a100", precision,
+                        analysis_cache=cache).profile(graph)
+        cold = Profiler("trt-sim", "a100", precision,
+                        analysis_cache=False).profile(graph)
+        assert report_digest(warm) == report_digest(cold), \
+            f"{precision}: assembled profile diverges from cold"
+    stats = cache.stats()
+    assert stats["structure"]["hits"] == len(PRECISIONS) - 1
+
+
+# ----------------------------------------------------------------------
+# floors (skipped in smoke mode)
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(SMOKE, reason="PROOF_BENCH_SMOKE=1: correctness only")
+def test_sweep_redundancy_floors():
+    """Cold-vs-warm accounting for the zoo pass and the 5-precision
+    sweep; records the ``layer_cache`` BENCH section."""
+    # --- cross-model zoo pass: cold store, then warm store ------------
+    def zoo_pass(store):
+        stats_before = store.stats()
+        for key in ZOO:
+            cache = AnalysisCache(layer_store=store)
+            Profiler("trt-sim", "a100", analysis_cache=cache).profile(
+                build(key))
+        after = store.stats()
+        return {t: {k: after[t][k] - stats_before[t][k]
+                    for k in ("hits", "misses")}
+                for t in store.TIERS}
+
+    store = LayerStore()
+    cold_delta = zoo_pass(store)       # populates the store
+    warm_delta = zoo_pass(store)       # same zoo, fresh caches
+    cold_rate = _rate(cold_delta, "layer")
+    warm_rate = _rate(warm_delta, "layer")
+    assert warm_rate > LAYER_HIT_FLOOR, \
+        f"warm zoo layer-tier hit rate {warm_rate:.1%} <= " \
+        f"{LAYER_HIT_FLOOR:.0%} floor"
+
+    # --- 5-precision sweep vs one cold point --------------------------
+    def cold_point():
+        Profiler("trt-sim", "a100", "fp32",
+                 analysis_cache=AnalysisCache()).profile(build(SWEEP_MODEL))
+
+    sweeps = []
+
+    def sweep():
+        sweeps.append(sweep_batch_sizes(
+            lambda bs: MODEL_ZOO[SWEEP_MODEL].build(
+                batch_size=bs, image_size=IMAGE_SIZE),
+            "trt-sim", "a100", batch_sizes=[1], precisions=PRECISIONS,
+            analysis_cache=AnalysisCache(layer_store=store)))
+
+    cold_s = _best_of(cold_point)
+    sweep_s = _best_of(sweep)
+    ratio = sweep_s / cold_s
+    sweep_stats = sweeps[-1].cache_stats
+    sweep_layer_rate = sweep_stats["layer"]["hit_rate"]
+    assert ratio <= SWEEP_RATIO_CEIL, \
+        f"5-precision sweep {ratio:.2f}x one cold point > " \
+        f"{SWEEP_RATIO_CEIL}x ceiling"
+    assert sweep_layer_rate > LAYER_HIT_FLOOR
+
+    _update_bench("layer_cache", {
+        "layer_hit_floor": LAYER_HIT_FLOOR,
+        "sweep_ratio_ceiling": SWEEP_RATIO_CEIL,
+        "reps": REPS,
+        "zoo": {
+            "models": ZOO,
+            "cold_layer_hit_rate": round(cold_rate, 4),
+            "warm_layer_hit_rate": round(warm_rate, 4),
+            "cold": cold_delta,
+            "warm": warm_delta,
+        },
+        "precision_sweep": {
+            "model": SWEEP_MODEL,
+            "precisions": list(PRECISIONS),
+            "cold_point_ms": round(cold_s * 1e3, 3),
+            "sweep_ms": round(sweep_s * 1e3, 3),
+            "ratio_vs_cold_point": round(ratio, 3),
+            "tiers": {t: {"hits": s["hits"], "misses": s["misses"],
+                          "hit_rate": round(s["hit_rate"], 4)}
+                      for t, s in sweep_stats.items()},
+        },
+    })

@@ -2,11 +2,12 @@
 from .opdefs import OpClass, OpCost, OpView, OperatorDef, classify, cost_of, operator_def
 from .arep import AnalyzedOp, AnalyzeRepresentation, ModelStats
 from .oarep import FusedOp, MappingError, OptimizedAnalyzeRepresentation
+from .layerstore import LayerStore
 from .cache import AnalysisCache, MappedEntry, shared_analysis_cache
 
 __all__ = [
     "OpClass", "OpCost", "OpView", "OperatorDef", "classify", "cost_of",
     "operator_def", "AnalyzedOp", "AnalyzeRepresentation", "ModelStats",
     "FusedOp", "MappingError", "OptimizedAnalyzeRepresentation",
-    "AnalysisCache", "MappedEntry", "shared_analysis_cache",
+    "LayerStore", "AnalysisCache", "MappedEntry", "shared_analysis_cache",
 ]

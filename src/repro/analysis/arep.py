@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional
 
+from ..ir.fingerprint import node_fingerprint
 from ..ir.graph import Graph
 from ..ir.node import Node
 from ..ir.shape_inference import infer_shapes
@@ -20,11 +21,19 @@ __all__ = ["AnalyzedOp", "AnalyzeRepresentation", "ModelStats"]
 
 
 class AnalyzedOp:
-    """One model-design operator with cost-prediction behaviour."""
+    """One model-design operator with cost-prediction behaviour.
+
+    When the owning representation carries a layer store
+    (``rep.layer_store``), cost and class predictions resolve through
+    the store's cross-model records, keyed by this op's name-free
+    :meth:`layer_fingerprint` — recomputation happens only for layer
+    shapes never analysed before, in any graph.
+    """
 
     def __init__(self, node: Node, rep: "AnalyzeRepresentation") -> None:
         self.node = node
         self._rep = rep
+        self._layer_fp: Optional[str] = None
 
     @property
     def name(self) -> str:
@@ -47,13 +56,40 @@ class AnalyzedOp:
         """Uniform accessor shared with ``_FusedOp`` (single member here)."""
         return [self.node]
 
-    def op_class(self) -> OpClass:
+    def layer_fingerprint(self) -> str:
+        """Name-free structural fingerprint (memoized; see
+        :func:`repro.ir.fingerprint.node_fingerprint`)."""
+        if self._layer_fp is None:
+            self._layer_fp = node_fingerprint(
+                self.node, self._rep.tensor,
+                self._rep.graph.initializers)
+        return self._layer_fp
+
+    def compute_class(self) -> OpClass:
+        """Raw (uncached) operator classification."""
         return operator_def(self.node.op_type).classify(
             OpView(self.node, self._rep.tensor))
 
+    def compute_cost(self, precision: DataType) -> OpCost:
+        """Raw (uncached) cost prediction at ``precision``."""
+        return cost_of(self.node, self._rep.tensor, precision)
+
+    def op_class(self) -> OpClass:
+        store = self._rep.layer_store
+        if store is None:
+            return self.compute_class()
+        return store.record(("class", self.layer_fingerprint()),
+                            self.compute_class)
+
     def cost(self, precision: Optional[DataType] = None) -> OpCost:
-        return cost_of(self.node, self._rep.tensor,
-                       precision or self._rep.precision)
+        precision = precision or self._rep.precision
+        store = self._rep.layer_store
+        if store is None:
+            return self.compute_cost(precision)
+        return store.record(
+            ("cost", self.layer_fingerprint(),
+             getattr(precision, "value", precision)),
+            lambda: self.compute_cost(precision))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"AnalyzedOp({self.name!r}, {self.op_type})"
@@ -91,6 +127,10 @@ class AnalyzeRepresentation:
             infer_shapes(graph)
         self.graph = graph
         self.precision = precision
+        #: optional :class:`repro.analysis.layerstore.LayerStore` — set
+        #: by the analysis cache (or a backend compile) to share per-op
+        #: cost/class records across models and sweep configs
+        self.layer_store = None
         self.ops: List[AnalyzedOp] = [AnalyzedOp(n, self) for n in graph.toposort()]
         self._by_output: Dict[str, AnalyzedOp] = {}
         for op in self.ops:

@@ -12,15 +12,29 @@ each sweep point is a *different* report.
 :class:`AnalysisCache` memoizes those intermediates under
 content-addressed keys built from :func:`~repro.ir.fingerprint.graph_fingerprint`:
 
-========  ==========================================  ===================
-tier      key                                         value
-========  ==========================================  ===================
-shapes    ``fp``                                      ``value_info`` map
-arep      ``fp, precision``                           AR
-mapped    ``fp, backend, spec, precision``            compiled + AR + OAR
-                                                      + mapped layers
-plan      ``fp, seed, pipeline-fingerprint``          ExecutionPlan
-========  ==========================================  ===================
+=========  ==========================================  ===================
+tier       key                                         value
+=========  ==========================================  ===================
+shapes     ``fp``                                      ``value_info`` map
+arep       ``fp, precision``                           AR
+mapped     ``fp, backend, spec, precision``            compiled + AR + OAR
+                                                       + mapped layers
+plan       ``fp, seed, pipeline-fingerprint``          ExecutionPlan
+layer      per-layer fingerprint keys                  cost / class /
+                                                       latency records
+structure  ``fp, backend, spec`` (precision-free)      donor MappedEntry
+=========  ==========================================  ===================
+
+The ``layer`` and ``structure`` tiers live in a
+:class:`~repro.analysis.layerstore.LayerStore` — sub-graph-granular
+records keyed by the name-free layer fingerprints of
+:mod:`repro.ir.fingerprint`, shared across models and sweep configs.
+Each cache owns a private store by default; pass ``layer_store=`` to
+share one across caches, or ``layer_store=False`` to disable the
+sub-graph tiers entirely (pre-layer-store behaviour, useful for A/B
+measurement).  Every tier has its own LRU capacity
+(``tier_entries``) — the layer tier needs tens of thousands of slots
+where whole-graph tiers need ~128 — and its own eviction counter.
 
 The plan key includes the optimization *pipeline fingerprint* (level +
 ordered pass list, :func:`repro.ir.passes.pipeline_fingerprint`), so
@@ -39,13 +53,20 @@ because equal fingerprints imply equal structure and the analysis never
 reads materialized weight values.  All tiers are guarded by one lock;
 concurrent misses on the same key may build twice (last write wins with
 an equivalent value) but never block each other on dict access.
+
+:meth:`mapped_entry` additionally takes an ``assemble`` callback: on a
+``mapped`` miss whose precision-free *structure* is already known (a
+sibling precision built it, this run or — via a shared store — another
+cache's), the caller may assemble a new entry from the donor's layer
+records instead of re-running compile + mapping.  The profiler supplies
+this for backends whose layer structure is precision-invariant.
 """
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..ir.fingerprint import graph_fingerprint
 from ..ir.graph import Graph
@@ -54,6 +75,7 @@ from ..ir.plan import ExecutionPlan
 from ..ir.shape_inference import infer_shapes
 from ..obs.metrics import MetricsRegistry, default_registry
 from .arep import AnalyzeRepresentation
+from .layerstore import LayerStore
 from .oarep import OptimizedAnalyzeRepresentation
 
 __all__ = ["AnalysisCache", "MappedEntry", "shared_analysis_cache"]
@@ -73,56 +95,90 @@ class MappedEntry:
 
 
 class AnalysisCache:
-    """LRU memo for shape inference, AR/OAR and compiled plans."""
+    """LRU memo for shape inference, AR/OAR, compiled plans and —
+    through its :class:`LayerStore` — per-layer analysis records."""
 
-    TIERS = ("shapes", "arep", "mapped", "plan")
+    #: whole-graph tiers stored in this cache itself
+    GRAPH_TIERS = ("shapes", "arep", "mapped", "plan")
+    #: every tier this cache reports stats/gauges for (the last two are
+    #: delegated to the layer store)
+    TIERS = GRAPH_TIERS + LayerStore.TIERS
 
     def __init__(self, max_entries: int = 128,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 layer_store: Union["LayerStore", bool, None] = None,
+                 tier_entries: Optional[Dict[str, int]] = None) -> None:
+        #: default per-tier capacity for the whole-graph tiers (kept as
+        #: one knob for back-compat; ``tier_entries`` overrides per tier)
         self.max_entries = max_entries
-        self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self.tier_entries: Dict[str, int] = {
+            t: max_entries for t in self.GRAPH_TIERS}
+        if tier_entries:
+            unknown = set(tier_entries) - set(self.GRAPH_TIERS)
+            if unknown:
+                raise KeyError(f"unknown cache tiers {sorted(unknown)}; "
+                               f"size the layer store via layer_store=")
+            self.tier_entries.update(tier_entries)
+        self._tiers: Dict[str, "OrderedDict[Tuple, Any]"] = {
+            t: OrderedDict() for t in self.GRAPH_TIERS}
         self._lock = threading.RLock()
-        self._hits = {t: 0 for t in self.TIERS}
-        self._misses = {t: 0 for t in self.TIERS}
-        # library-level telemetry (repro.obs): per-tier hit/miss
+        self._hits = {t: 0 for t in self.GRAPH_TIERS}
+        self._misses = {t: 0 for t in self.GRAPH_TIERS}
+        self._evictions = {t: 0 for t in self.GRAPH_TIERS}
+        # library-level telemetry (repro.obs): per-tier hit/miss/eviction
         # counters, resolved once so the hot path pays one Counter.inc
         registry = metrics if metrics is not None else default_registry()
         self._hit_counters = {
             t: registry.counter(f"analysis_cache.{t}.hits")
-            for t in self.TIERS}
+            for t in self.GRAPH_TIERS}
         self._miss_counters = {
             t: registry.counter(f"analysis_cache.{t}.misses")
-            for t in self.TIERS}
+            for t in self.GRAPH_TIERS}
+        self._eviction_counters = {
+            t: registry.counter(f"analysis_cache.{t}.evictions")
+            for t in self.GRAPH_TIERS}
+        #: sub-graph-granular record store (``layer``/``structure``
+        #: tiers); private by default, shareable across caches, or
+        #: ``False`` to disable
+        if layer_store is False:
+            self.layer_store: Optional[LayerStore] = None
+        elif layer_store is None or layer_store is True:
+            self.layer_store = LayerStore(metrics=registry)
+        else:
+            self.layer_store = layer_store
 
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
     def _get(self, tier: str, key: Tuple) -> Tuple[bool, Any]:
-        full = (tier,) + key
         with self._lock:
-            if full in self._entries:
-                self._entries.move_to_end(full)
+            entries = self._tiers[tier]
+            if key in entries:
+                entries.move_to_end(key)
                 self._hits[tier] += 1
                 self._hit_counters[tier].inc()
-                return True, self._entries[full]
+                return True, entries[key]
             self._misses[tier] += 1
             self._miss_counters[tier].inc()
             return False, None
 
     def _put(self, tier: str, key: Tuple, value: Any) -> Any:
-        full = (tier,) + key
         with self._lock:
-            self._entries[full] = value
-            self._entries.move_to_end(full)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+            entries = self._tiers[tier]
+            entries[key] = value
+            entries.move_to_end(key)
+            while len(entries) > self.tier_entries[tier]:
+                entries.popitem(last=False)
+                self._evictions[tier] += 1
+                self._eviction_counters[tier].inc()
         return value
 
     def get_or_build(self, tier: str, key: Tuple,
                      build: Callable[[], Any]) -> Any:
-        """Generic get-or-build against one tier (``tier`` must be known)."""
-        if tier not in self.TIERS:
-            raise KeyError(f"unknown cache tier {tier!r}")
+        """Generic get-or-build against one whole-graph tier."""
+        if tier not in self.GRAPH_TIERS:
+            raise KeyError(f"unknown cache tier {tier!r} (layer-store "
+                           f"tiers go through .layer_store)")
         hit, value = self._get(tier, key)
         if hit:
             return value
@@ -147,14 +203,14 @@ class AnalysisCache:
             # already inferred — still a tier lookup, so it must count:
             # a present entry is a hit, seeding it here is the miss that
             # lets sibling graphs hit later
-            full = ("shapes", fp)
             with self._lock:
-                if full in self._entries:
-                    self._entries.move_to_end(full)
+                entries = self._tiers["shapes"]
+                if (fp,) in entries:
+                    entries.move_to_end((fp,))
                     self._hits["shapes"] += 1
                     self._hit_counters["shapes"].inc()
                 else:
-                    self._entries[full] = graph.value_info
+                    entries[(fp,)] = graph.value_info
                     self._misses["shapes"] += 1
                     self._miss_counters["shapes"].inc()
             return fp
@@ -167,11 +223,21 @@ class AnalysisCache:
         return fp
 
     def arep(self, graph: Graph, precision: Any) -> AnalyzeRepresentation:
-        """AR for ``graph`` at ``precision`` (cached per fp+precision)."""
+        """AR for ``graph`` at ``precision`` (cached per fp+precision).
+
+        AReps built here are wired to this cache's layer store, so
+        their per-op cost/class lookups resolve against the shared
+        cross-model records.
+        """
         fp = self.ensure_shapes(graph)
         key = (fp, getattr(precision, "value", precision))
-        return self.get_or_build(
-            "arep", key, lambda: AnalyzeRepresentation(graph, precision))
+
+        def build() -> AnalyzeRepresentation:
+            arep = AnalyzeRepresentation(graph, precision)
+            arep.layer_store = self.layer_store
+            return arep
+
+        return self.get_or_build("arep", key, build)
 
     def oar(self, graph: Graph, precision: Any) -> OptimizedAnalyzeRepresentation:
         """A *fresh* OAR over the cached AR.
@@ -185,18 +251,38 @@ class AnalysisCache:
     def mapped_entry(self, graph: Graph, backend_key: str, spec_key: str,
                      precision: Any,
                      build: Callable[[AnalyzeRepresentation], MappedEntry],
+                     assemble: Optional[Callable[
+                         [MappedEntry, AnalyzeRepresentation],
+                         Optional[MappedEntry]]] = None,
                      ) -> MappedEntry:
         """Post-mapping entry for one (graph, backend, spec, precision).
 
         ``build`` receives the cached AR and returns the finished
         :class:`MappedEntry`; it runs only on a miss.
+
+        ``assemble``, when given, is tried first on a miss: if the
+        precision-free *structure* tier holds a donor entry for
+        ``(fp, backend, spec)`` (built by a sibling precision), the
+        callback receives it plus the cached AR and may assemble the
+        new entry from shared layer records instead of re-running
+        compile + mapping.  Returning ``None`` falls back to ``build``.
         """
         fp = self.ensure_shapes(graph)
         key = (fp, backend_key, spec_key, getattr(precision, "value", precision))
         hit, entry = self._get("mapped", key)
         if hit:
             return entry
+        store = self.layer_store
+        structure_key = (fp, backend_key, spec_key)
+        if store is not None and assemble is not None:
+            donor_hit, donor = store.structure(structure_key)
+            if donor_hit:
+                entry = assemble(donor, self.arep(graph, precision))
+                if entry is not None:
+                    return self._put("mapped", key, entry)
         entry = build(self.arep(graph, precision))
+        if store is not None:
+            store.put_structure(structure_key, entry)
         return self._put("mapped", key, entry)
 
     def plan(self, graph: Graph, seed: int = 0,
@@ -218,28 +304,52 @@ class AnalysisCache:
     # introspection
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-tier ``{"hits", "misses", "evictions"}`` counts, layer
+        and structure tiers included (zeros when the store is off)."""
         with self._lock:
-            return {t: {"hits": self._hits[t], "misses": self._misses[t]}
-                    for t in self.TIERS}
+            out = {t: {"hits": self._hits[t], "misses": self._misses[t],
+                       "evictions": self._evictions[t]}
+                   for t in self.GRAPH_TIERS}
+        if self.layer_store is not None:
+            out.update(self.layer_store.stats())
+        else:
+            out.update({t: {"hits": 0, "misses": 0, "evictions": 0}
+                        for t in LayerStore.TIERS})
+        return out
+
+    def hit_rates(self) -> Dict[str, float]:
+        """Per-tier hit rate in [0, 1]; 0.0 for untouched tiers."""
+        return {t: (s["hits"] / (s["hits"] + s["misses"])
+                    if s["hits"] + s["misses"] else 0.0)
+                for t, s in self.stats().items()}
 
     def hit_counts(self) -> Dict[str, int]:
-        with self._lock:
-            return dict(self._hits)
+        return {t: s["hits"] for t, s in self.stats().items()}
 
     def miss_counts(self) -> Dict[str, int]:
-        with self._lock:
-            return dict(self._misses)
+        return {t: s["misses"] for t, s in self.stats().items()}
+
+    def eviction_counts(self) -> Dict[str, int]:
+        return {t: s["evictions"] for t, s in self.stats().items()}
 
     def __len__(self) -> int:
+        """Live entries in the whole-graph tiers (the layer store keeps
+        its own count: ``len(cache.layer_store)``)."""
         with self._lock:
-            return len(self._entries)
+            return sum(len(e) for e in self._tiers.values())
 
     def clear(self) -> None:
+        """Drop all entries and zero the counters (the attached layer
+        store included — callers sharing a store across caches should
+        clear at the store level deliberately, not through a cache)."""
         with self._lock:
-            self._entries.clear()
-            for t in self.TIERS:
+            for t in self.GRAPH_TIERS:
+                self._tiers[t].clear()
                 self._hits[t] = 0
                 self._misses[t] = 0
+                self._evictions[t] = 0
+        if self.layer_store is not None:
+            self.layer_store.clear()
 
 
 _shared: Optional[AnalysisCache] = None

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..ir.fingerprint import group_fingerprint
 from ..ir.node import Node
 from ..ir.tensor import DataType, TensorInfo
 from .arep import AnalyzedOp, AnalyzeRepresentation
@@ -46,6 +47,7 @@ class FusedOp:
         #: names of member nodes whose FLOP the backend folded away
         self.folded: Set[str] = set(folded)
         self._io = self._compute_io()
+        self._layer_fp: Optional[str] = None
 
     def _compute_io(self) -> Tuple[List[str], List[str]]:
         produced: Set[str] = set()
@@ -92,7 +94,30 @@ class FusedOp:
     def member_names(self) -> List[str]:
         return [m.name for m in self.members]
 
+    def layer_fingerprint(self) -> str:
+        """Name-free group fingerprint (memoized): member op types,
+        attrs, shapes, dtypes and internal wiring in member order, plus
+        boundary outputs and fold markers — everything
+        :meth:`cost`/:meth:`op_class` read, so equal fingerprints imply
+        bit-identical records (see
+        :func:`repro.ir.fingerprint.group_fingerprint`)."""
+        if self._layer_fp is None:
+            arep = self._rep.arep
+            self._layer_fp = group_fingerprint(
+                [m.node for m in self.members], arep.tensor,
+                arep.graph.initializers, self._io[1],
+                [i for i, m in enumerate(self.members)
+                 if m.name in self.folded])
+        return self._layer_fp
+
     def op_class(self) -> OpClass:
+        store = self._rep.arep.layer_store
+        if store is None:
+            return self.compute_class()
+        return store.record(("class", self.layer_fingerprint()),
+                            self.compute_class)
+
+    def compute_class(self) -> OpClass:
         """Dominant class: the member with the highest FLOP wins; pure
         data-movement fusions stay data movement."""
         best: Optional[Tuple[float, OpClass]] = None
@@ -115,6 +140,16 @@ class FusedOp:
 
     def cost(self, precision: Optional[DataType] = None) -> OpCost:
         precision = precision or self._rep.arep.precision
+        store = self._rep.arep.layer_store
+        if store is None:
+            return self.compute_cost(precision)
+        return store.record(
+            ("cost", self.layer_fingerprint(),
+             getattr(precision, "value", precision)),
+            lambda: self.compute_cost(precision))
+
+    def compute_cost(self, precision: DataType) -> OpCost:
+        """Raw (uncached) fused-cost computation at ``precision``."""
         internal = self._internal_tensors()
         flop = 0.0
         reads: Dict[str, float] = {}

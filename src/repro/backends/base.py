@@ -26,7 +26,8 @@ from ..analysis.arep import AnalyzeRepresentation
 from ..analysis.oarep import FusedOp, OptimizedAnalyzeRepresentation
 from ..analysis.opdefs import OpClass, OpCost, gemm_dims
 from ..hardware.latency import LatencySimulator, WorkItem
-from ..hardware.specs import HardwareSpec
+from ..hardware.specs import HardwareSpec, spec_cache_key
+from ..ir.fingerprint import tensor_fingerprint
 from ..ir.graph import Graph
 from ..ir.tensor import DataType, TensorInfo
 from ..obs.trace import get_tracer
@@ -92,6 +93,12 @@ class BackendModel:
     precision: DataType
     spec: HardwareSpec
     layers: List[BackendLayer]
+    #: simulation ground truth, aligned 1:1 with ``layers``: the truth
+    #: analysis unit each execution layer times, or ``("reformat",
+    #: TensorInfo)`` for conversion copies.  Off-limits to mapping code
+    #: (like the ``true_*`` layer fields); the profiler's assemble path
+    #: uses it to re-time a donor structure at a sibling precision.
+    truth_units: Optional[List[object]] = None
 
     @property
     def total_latency_seconds(self) -> float:
@@ -156,6 +163,17 @@ class Backend(abc.ABC):
     #: short identifier, e.g. ``"trt-sim"``
     name: str = "backend"
 
+    #: whether :meth:`compile` accepts a ``layer_store=`` keyword (the
+    #: cross-model record store; see :mod:`repro.analysis.layerstore`)
+    supports_layer_store: bool = False
+
+    #: whether the compiled layer *structure* (fusion plan, layer list,
+    #: mapping hints) is independent of precision — precision then only
+    #: affects per-layer latencies and ``check_supported``, which is
+    #: what lets the profiler assemble sibling-precision entries from a
+    #: donor structure instead of recompiling
+    structure_precision_invariant: bool = False
+
     @abc.abstractmethod
     def compile(self, graph: Graph, spec: HardwareSpec,
                 precision: DataType = DataType.FLOAT16) -> BackendModel:
@@ -181,20 +199,44 @@ class Backend(abc.ABC):
                            arep: AnalyzeRepresentation,
                            truth: OptimizedAnalyzeRepresentation) -> None:
         sim = LatencySimulator(model.spec)
+        # when the AR carries a layer store, per-layer latencies are
+        # memoized under name-free layer fingerprints: a layer shape
+        # already timed — in any graph — skips the simulator entirely
+        store = getattr(arep, "layer_store", None)
+        spec_key = spec_cache_key(model.spec) if store is not None else ""
+        prec = model.precision.value
         units_by_first_member: Dict[str, object] = {}
         for unit in truth.units:
             first = unit.member_nodes[0].name
             units_by_first_member[first] = unit
+        truth_aligned: List[object] = []
         for layer in model.layers:
             if layer.is_reformat:
                 src = layer.true_alias[0] if layer.true_alias else layer.inputs[0]
                 info = arep.tensor(src)
-                item = reformat_work_item(layer.name, info, model.precision)
+                truth_aligned.append(("reformat", info))
+
+                def compute(info=info, name=layer.name):
+                    return sim.time(reformat_work_item(
+                        name, info, model.precision)).seconds
+
+                record_key = ("latency", tensor_fingerprint(info),
+                              spec_key, prec)
             else:
                 unit = units_by_first_member.get(layer.true_member_names[0])
                 if unit is None:
                     raise BackendError(
                         f"internal: no truth unit for layer {layer.name!r}")
-                item = work_item_for_unit(unit, arep, model.precision,
-                                          name=layer.name)
-            layer.latency_seconds = sim.time(item).seconds
+                truth_aligned.append(unit)
+
+                def compute(unit=unit, name=layer.name):
+                    return sim.time(work_item_for_unit(
+                        unit, arep, model.precision, name=name)).seconds
+
+                record_key = ("latency", unit.layer_fingerprint(),
+                              spec_key, prec)
+            if store is None:
+                layer.latency_seconds = compute()
+            else:
+                layer.latency_seconds = store.record(record_key, compute)
+        model.truth_units = truth_aligned

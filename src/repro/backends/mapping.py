@@ -28,6 +28,7 @@ from ..analysis.arep import AnalyzedOp
 from ..analysis.oarep import (FusedOp, MappingError,
                               OptimizedAnalyzeRepresentation)
 from ..analysis.opdefs import OpClass, OpCost
+from ..ir.fingerprint import tensor_fingerprint
 from ..ir.node import Node
 from ..ir.tensor import DataType, TensorInfo
 from ..obs.trace import get_tracer
@@ -49,6 +50,10 @@ class ReformatUnit:
         self.info = info
         self.inputs = [info.name]
         self.outputs = [f"{info.name}::reformat"]
+
+    def layer_fingerprint(self) -> str:
+        """Name-free identity: the converted tensor's shape + dtype."""
+        return tensor_fingerprint(self.info)
 
     @property
     def member_nodes(self) -> List[Node]:

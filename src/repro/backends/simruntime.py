@@ -29,16 +29,26 @@ class SimulatedRuntime(Backend):
     #: op types this runtime cannot compile, per platform name (or "*")
     unsupported_ops: Dict[str, frozenset] = {}
 
+    supports_layer_store = True
+
+    #: fusion planning and layer building read only shapes/op types —
+    #: precision feeds :meth:`check_supported` and the latency model
+    structure_precision_invariant = True
+
     def fusion_config(self, spec: HardwareSpec) -> FusionConfig:
         return FusionConfig()
 
     # ------------------------------------------------------------------
     def compile(self, graph: Graph, spec: HardwareSpec,
-                precision: DataType = DataType.FLOAT16) -> BackendModel:
+                precision: DataType = DataType.FLOAT16,
+                layer_store=None) -> BackendModel:
         if not graph.value_info:
             infer_shapes(graph)
         self.check_supported(graph, spec, precision)
         arep = AnalyzeRepresentation(graph, precision)
+        #: wiring the store in *before* planning lets fusion heuristics'
+        #: op_class lookups and the truth timing pass share records
+        arep.layer_store = layer_store
         planner = FusionPlanner(arep, self.fusion_config(spec))
         groups = self.postprocess_groups(planner.plan(), arep)
         truth = OptimizedAnalyzeRepresentation(arep)

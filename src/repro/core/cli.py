@@ -45,6 +45,11 @@ def _add_obs_args(sub: argparse.ArgumentParser) -> None:
                      help="enable repro.* logging at this level")
 
 
+#: every deployment precision the profiler accepts — bf16 runs the
+#: fp16-rate tensor-core path, uint8 the signed-int8 (DP4A/IMMA) path
+PRECISION_CHOICES = ["fp32", "fp16", "bf16", "int8", "uint8"]
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="proof",
@@ -57,7 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--platform", default="a100", choices=sorted(PLATFORMS))
     run.add_argument("--backend", default="trt-sim", choices=sorted(BACKENDS))
     run.add_argument("--precision", default="fp16",
-                     choices=["fp32", "fp16", "int8"])
+                     choices=PRECISION_CHOICES)
     run.add_argument("--batch", type=int, default=1)
     run.add_argument("--mode", default="predict",
                      choices=["predict", "measure"],
@@ -90,23 +95,33 @@ def build_parser() -> argparse.ArgumentParser:
     peak = sub.add_parser("peak", help="measure achieved roofline peaks")
     peak.add_argument("--platform", default="a100", choices=sorted(PLATFORMS))
     peak.add_argument("--precision", default="fp16",
-                      choices=["fp32", "fp16", "int8"])
+                      choices=PRECISION_CHOICES)
     peak.add_argument("--gpu-clock", type=float, default=None,
                       help="override the compute clock (MHz, Jetson-style)")
     peak.add_argument("--mem-clock", type=float, default=None,
                       help="override the memory clock (MHz)")
     _add_obs_args(peak)
 
-    swp = sub.add_parser("sweep", help="batch-size sweep for a model")
+    swp = sub.add_parser("sweep", help="batch/precision sweep for a model")
     swp.add_argument("--model", required=True, choices=sorted(MODEL_ZOO))
     swp.add_argument("--platform", default="a100", choices=sorted(PLATFORMS))
     swp.add_argument("--backend", default="trt-sim", choices=sorted(BACKENDS))
     swp.add_argument("--precision", default="fp16",
-                     choices=["fp32", "fp16", "int8"])
+                     choices=PRECISION_CHOICES)
+    swp.add_argument("--precisions", default=None,
+                     help="comma-separated precisions to sweep (e.g. "
+                          "fp32,fp16,bf16,int8,uint8); overrides "
+                          "--precision and profiles every precision × "
+                          "batch point, sharing layer-cache records "
+                          "across points")
     swp.add_argument("--batches", default="1,4,16,64,256",
                      help="comma-separated batch sizes")
     swp.add_argument("--jobs", type=int, default=1,
                      help="profile sweep points on this many threads")
+    swp.add_argument("--cache-stats", action="store_true",
+                     help="print the full per-tier analysis-cache table "
+                          "(hits, misses, evictions, hit rate) for this "
+                          "sweep")
     _add_obs_args(swp)
 
     srv = sub.add_parser("serve",
@@ -128,7 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     bat.add_argument("--platform", default="a100", choices=sorted(PLATFORMS))
     bat.add_argument("--backend", default="trt-sim", choices=sorted(BACKENDS))
     bat.add_argument("--precision", default="fp16",
-                     choices=["fp32", "fp16", "int8"])
+                     choices=PRECISION_CHOICES)
     bat.add_argument("--batch", type=int, default=1)
     bat.add_argument("--workers", type=int, default=4)
     bat.add_argument("--jobs", type=int, default=1,
@@ -161,7 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
     par.add_argument("--platform", default="a100", choices=sorted(PLATFORMS))
     par.add_argument("--backend", default="trt-sim", choices=sorted(BACKENDS))
     par.add_argument("--precision", default="fp16",
-                     choices=["fp32", "fp16", "int8"])
+                     choices=PRECISION_CHOICES)
     par.add_argument("--batch", type=int, default=32)
     par.add_argument("--microbatches", type=int, default=None,
                      help="micro-batches to simulate "
@@ -282,24 +297,52 @@ def _cmd_peak(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .sweep import sweep_batch_sizes
     batches = tuple(int(b) for b in args.batches.split(","))
+    precisions = [p.strip() for p in args.precisions.split(",")] \
+        if args.precisions else None
     sweep = sweep_batch_sizes(
         lambda bs: build_model(args.model, batch_size=bs),
         backend=args.backend, spec=args.platform,
-        precision=args.precision, batch_sizes=batches, jobs=args.jobs)
+        precision=args.precision, batch_sizes=batches, jobs=args.jobs,
+        precisions=precisions)
+    label = ",".join(precisions) if precisions else args.precision
     print(f"{args.model} on {sweep.platform_name} "
-          f"({args.backend}, {args.precision})")
-    print(f"{'batch':>6s} {'latency(ms)':>12s} {'samples/s':>11s} "
-          f"{'TFLOP/s':>8s} {'GB/s':>7s} {'AI':>7s}")
+          f"({args.backend}, {label})")
+    prec_col = bool(precisions and len(precisions) > 1)
+    header = f"{'batch':>6s} {'latency(ms)':>12s} {'samples/s':>11s} " \
+             f"{'TFLOP/s':>8s} {'GB/s':>7s} {'AI':>7s}"
+    print((f"{'prec':>6s} " if prec_col else "") + header)
     for p in sweep.points:
-        print(f"{p.batch_size:6d} {p.latency_seconds * 1e3:12.3f} "
-              f"{p.throughput_per_second:11.0f} "
-              f"{p.achieved_flops / 1e12:8.3f} "
-              f"{p.achieved_bandwidth / 1e9:7.1f} "
-              f"{p.arithmetic_intensity:7.1f}")
+        row = f"{p.batch_size:6d} {p.latency_seconds * 1e3:12.3f} " \
+              f"{p.throughput_per_second:11.0f} " \
+              f"{p.achieved_flops / 1e12:8.3f} " \
+              f"{p.achieved_bandwidth / 1e9:7.1f} " \
+              f"{p.arithmetic_intensity:7.1f}"
+        print((f"{p.precision:>6s} " if prec_col else "") + row)
     best = sweep.best_throughput()
     print(f"\npeak throughput at bs={best.batch_size}; throughput "
           f"saturates from bs={sweep.saturation_batch()}")
+    if sweep.cache_stats is not None:
+        print("cache hit rates: " + _cache_rates_line(sweep.cache_stats))
+        if args.cache_stats:
+            print(f"\n{'tier':>10s} {'hits':>8s} {'misses':>8s} "
+                  f"{'evictions':>9s} {'hit rate':>8s}")
+            for tier, s in sweep.cache_stats.items():
+                print(f"{tier:>10s} {s['hits']:8d} {s['misses']:8d} "
+                      f"{s['evictions']:9d} {s['hit_rate']:7.1%}")
     return 0
+
+
+def _cache_rates_line(cache_stats: dict) -> str:
+    """Compact ``tier rate% (hits/lookups)`` summary, busiest tiers
+    first, untouched tiers dropped."""
+    parts = []
+    for tier, s in sorted(cache_stats.items(),
+                          key=lambda kv: -(kv[1]["hits"] + kv[1]["misses"])):
+        lookups = s["hits"] + s["misses"]
+        if not lookups:
+            continue
+        parts.append(f"{tier} {s['hit_rate']:.1%} ({s['hits']}/{lookups})")
+    return " | ".join(parts) if parts else "(no cache traffic)"
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:

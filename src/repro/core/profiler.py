@@ -27,10 +27,13 @@ from ..analysis.cache import AnalysisCache, MappedEntry, shared_analysis_cache
 from ..analysis.oarep import OptimizedAnalyzeRepresentation
 from ..analysis.opdefs import OpClass
 from ..backends import Backend, backend_by_name, map_layers
-from ..backends.base import BackendModel
+from ..backends.base import (BackendModel, reformat_work_item,
+                             work_item_for_unit)
 from ..backends.mapping import MappedLayer, ReformatUnit
 from ..hardware.counters import CounterProfiler
-from ..hardware.specs import HardwareSpec, platform
+from ..hardware.latency import LatencySimulator
+from ..hardware.specs import HardwareSpec, platform, spec_cache_key
+from ..ir.fingerprint import tensor_fingerprint
 from ..ir.graph import Graph
 from ..ir.plan import ExecutionPlan, compile_plan
 from ..ir.shape_inference import infer_shapes
@@ -133,8 +136,17 @@ class Profiler:
 
     # ------------------------------------------------------------------
     def _spec_key(self) -> str:
-        return repr([(f.name, repr(getattr(self.spec, f.name)))
-                     for f in dataclasses.fields(self.spec)])
+        return spec_cache_key(self.spec)
+
+    def _compile(self, graph: Graph):
+        """Backend compile, handing the layer store to backends that
+        take one (per-layer truth latencies then memoize cross-model)."""
+        cache = self.analysis_cache
+        if cache is not None and cache.layer_store is not None \
+                and getattr(self.backend, "supports_layer_store", False):
+            return self.backend.compile(graph, self.spec, self.precision,
+                                        layer_store=cache.layer_store)
+        return self.backend.compile(graph, self.spec, self.precision)
 
     def _mapped_entry(self, graph: Graph, tracer=None,
                       stages: Optional[Dict[str, float]] = None
@@ -143,13 +155,13 @@ class Profiler:
         tracer = tracer or self._tracer()
 
         built = []
+        assembled = []
 
         def build(arep: AnalyzeRepresentation) -> MappedEntry:
             built.append(True)
             with _stage(tracer, stages, "compile",
                         backend=self.backend.name):
-                compiled = self.backend.compile(graph, self.spec,
-                                                self.precision)
+                compiled = self._compile(graph)
             with _stage(tracer, stages, "oar"):
                 oar = OptimizedAnalyzeRepresentation(arep)
             with _stage(tracer, stages, "mapping",
@@ -157,6 +169,15 @@ class Profiler:
                 mapped = map_layers(compiled, oar)
             return MappedEntry(compiled=compiled, arep=arep, oar=oar,
                                mapped=mapped)
+
+        def assemble(donor: MappedEntry,
+                     arep: AnalyzeRepresentation) -> Optional[MappedEntry]:
+            with _stage(tracer, stages, "assemble",
+                        backend=self.backend.name):
+                entry = self._assemble_entry(graph, donor, arep)
+            if entry is not None:
+                assembled.append(True)
+            return entry
 
         cache = self.analysis_cache
         if cache is None:
@@ -182,11 +203,79 @@ class Profiler:
         with _stage(tracer, stages, "arep"):
             cache.arep(graph, self.precision)
         with tracer.span("mapped_entry") as span:
-            entry = cache.mapped_entry(graph, self.backend.name,
-                                       self._spec_key(), self.precision,
-                                       build)
-            span.set("cache_hit", not built)
+            entry = cache.mapped_entry(
+                graph, self.backend.name, self._spec_key(), self.precision,
+                build,
+                assemble=assemble if getattr(
+                    self.backend, "structure_precision_invariant", False)
+                else None)
+            span.set("cache_hit", not built and not assembled)
+            span.set("assembled", bool(assembled))
         return entry
+
+    def _assemble_entry(self, graph: Graph, donor: MappedEntry,
+                        arep: AnalyzeRepresentation
+                        ) -> Optional[MappedEntry]:
+        """Rebuild a :class:`MappedEntry` at this profiler's precision
+        from a sibling precision's donor structure.
+
+        The backend's fusion plan, layer list and mapping are precision
+        invariant (the caller checked ``structure_precision_invariant``),
+        so only per-layer latencies change: each layer is re-timed from
+        its ground-truth unit through the layer store's latency records
+        — a warm store makes this a dict lookup per layer — falling
+        back to the latency simulator for shapes never timed at this
+        precision.  Per-precision support limits still apply:
+        ``check_supported`` runs exactly as a cold compile would.
+        """
+        compiled = donor.compiled
+        truth = compiled.truth_units
+        if truth is None or len(truth) != len(compiled.layers):
+            return None  # donor predates truth alignment: cold-build
+        self.backend.check_supported(graph, self.spec, self.precision)
+        cache = self.analysis_cache
+        store = cache.layer_store if cache is not None else None
+        sim = LatencySimulator(self.spec)
+        spec_key = self._spec_key()
+        prec = self.precision.value
+        new_layers = []
+        new_mapped = []
+        for layer, unit, m in zip(compiled.layers, truth, donor.mapped):
+            if isinstance(unit, tuple):  # ("reformat", TensorInfo)
+                info = unit[1]
+
+                def compute(info=info, name=layer.name):
+                    return sim.time(reformat_work_item(
+                        name, info, self.precision)).seconds
+
+                record_key = ("latency", tensor_fingerprint(info),
+                              spec_key, prec)
+            else:
+                def compute(unit=unit, name=layer.name):
+                    return sim.time(work_item_for_unit(
+                        unit, donor.arep, self.precision, name=name)).seconds
+
+                record_key = ("latency", unit.layer_fingerprint(),
+                              spec_key, prec)
+            latency = store.record(record_key, compute) \
+                if store is not None else compute()
+            new_layer = dataclasses.replace(
+                layer,
+                inputs=list(layer.inputs), outputs=list(layer.outputs),
+                exposed_member_names=None
+                if layer.exposed_member_names is None
+                else list(layer.exposed_member_names),
+                true_member_names=list(layer.true_member_names),
+                true_folded_names=list(layer.true_folded_names),
+                latency_seconds=latency)
+            new_layers.append(new_layer)
+            new_mapped.append(MappedLayer(layer=new_layer, unit=m.unit))
+        new_model = BackendModel(
+            backend_name=compiled.backend_name, graph=graph,
+            precision=self.precision, spec=self.spec, layers=new_layers,
+            truth_units=truth)
+        return MappedEntry(compiled=new_model, arep=arep,
+                           oar=donor.oar, mapped=new_mapped)
 
     def profile(self, graph: Graph) -> ProfileReport:
         """Run the full workflow on a model graph."""

@@ -22,7 +22,8 @@ from typing import Dict, Mapping, Optional, Tuple
 from ..analysis.opdefs import OpClass
 from ..ir.tensor import DataType
 
-__all__ = ["HardwareSpec", "PLATFORMS", "platform", "platform_names"]
+__all__ = ["HardwareSpec", "PLATFORMS", "platform", "platform_names",
+           "spec_cache_key"]
 
 
 #: default per-class peak *compute* efficiency on a well-tuned backend —
@@ -116,10 +117,16 @@ class HardwareSpec:
     # ------------------------------------------------------------------
     def matrix_peak(self, dtype: DataType) -> float:
         """Matrix-unit peak for a dtype, falling back to the vector path."""
+        if dtype is DataType.UINT8:
+            # unsigned 8-bit integers execute on the signed int8 path
+            # (DP4A/IMMA units take either signedness at the same rate)
+            dtype = DataType.INT8
         peak = self.peak_matrix_flops.get(dtype, 0.0)
         return peak if peak > 0 else self.vector_peak(dtype)
 
     def vector_peak(self, dtype: DataType) -> float:
+        if dtype is DataType.UINT8:
+            dtype = DataType.INT8
         peak = self.peak_vector_flops.get(dtype, 0.0)
         if peak > 0:
             return peak
@@ -393,3 +400,15 @@ def platform(name: str) -> HardwareSpec:
 
 def platform_names() -> Tuple[str, ...]:
     return tuple(PLATFORMS)
+
+
+def spec_cache_key(spec: HardwareSpec) -> str:
+    """Deterministic cache-key string covering every field of a spec.
+
+    Cache tiers keyed by hardware (the analysis cache's ``mapped`` and
+    ``structure`` tiers, the layer store's latency records) use this so
+    two specs sharing a name but differing in any parameter (e.g. a
+    clock-tuned Jetson) never alias.
+    """
+    return repr([(f.name, repr(getattr(spec, f.name)))
+                 for f in dataclasses.fields(spec)])

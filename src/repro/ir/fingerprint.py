@@ -15,6 +15,21 @@ via ``to_dict`` so :mod:`repro.ir` stays independent of
 :mod:`repro.core`): two runs are provably bit-identical when their
 digests match, which is how the profiling service proves that a cached
 result equals a fresh ``Profiler.profile`` call.
+
+Layer-granular fingerprints
+---------------------------
+
+``node_fingerprint`` / ``group_fingerprint`` / ``tensor_fingerprint``
+identify a single node, a fused group of nodes, or one tensor's
+shape+dtype *independently of tensor names and of which graph they sit
+in* — the keys of the cross-model layer store
+(:class:`repro.analysis.layerstore.LayerStore`).  Two MobileNet blocks
+with the same op types, attributes, shapes and dtypes fingerprint
+identically even across models, so their analysis records are shared;
+anything that can change an analysis result (an attribute, a dtype, a
+shape, which inputs are initializers, fold markers, the member order a
+fused cost sums over, internal-vs-boundary wiring) is part of the hash,
+so equal fingerprints imply bit-identical analysis.
 """
 from __future__ import annotations
 
@@ -31,11 +46,16 @@ from .node import Node
 from .tensor import TensorInfo
 
 __all__ = ["graph_fingerprint", "report_digest", "array_digest",
-           "FINGERPRINT_VERSION"]
+           "node_fingerprint", "group_fingerprint", "tensor_fingerprint",
+           "FINGERPRINT_VERSION", "LAYER_FINGERPRINT_VERSION"]
 
 #: bump when the canonical document layout changes — old cache entries
 #: must not alias new ones
 FINGERPRINT_VERSION = 1
+
+#: separate version for the layer-granular (node/group/tensor)
+#: fingerprints — bump when *their* canonical layout changes
+LAYER_FINGERPRINT_VERSION = 1
 
 
 def array_digest(a: np.ndarray) -> str:
@@ -128,6 +148,90 @@ def graph_fingerprint(graph: Graph) -> str:
     digest = hashlib.sha256(_canonical_bytes(doc)).hexdigest()
     graph._fingerprint_cache = digest
     return digest
+
+
+# ----------------------------------------------------------------------
+# layer-granular fingerprints (the cross-model layer-store keys)
+# ----------------------------------------------------------------------
+def _layer_digest(doc: Any) -> str:
+    return hashlib.sha256(_canonical_bytes(
+        [LAYER_FINGERPRINT_VERSION, doc])).hexdigest()
+
+
+def _node_doc(node: Node, info_fn: Any, initializers: Any,
+              local_ids: Any = None) -> List[Any]:
+    """Name-free canonical document for one node.
+
+    Tensor identity is reduced to ``[shape, dtype, is-initializer]``
+    plus — when ``local_ids`` is given (group mode) — a *local* id
+    assigned by first appearance, which encodes the group's internal
+    wiring without leaking graph-wide names.  Empty optional input
+    slots stay ``None`` so positional semantics survive.
+    """
+
+    def tensor_entry(name: str, with_init: bool) -> Any:
+        try:
+            info = info_fn(name)
+            entry: List[Any] = [list(info.shape), info.dtype.value]
+        except Exception:
+            # no shape info (exotic optional input the cost model never
+            # reads) — hash an explicit unknown marker, not the name
+            entry = ["?"]
+        if with_init:
+            entry.append(bool(name in initializers))
+        if local_ids is not None:
+            entry.append(local_ids.setdefault(name, len(local_ids)))
+        return entry
+
+    return [
+        node.op_type,
+        {k: _attr_doc(v) for k, v in node.attrs.items()},
+        [tensor_entry(t, True) if t else None for t in node.inputs],
+        [tensor_entry(t, False) for t in node.outputs],
+    ]
+
+
+def node_fingerprint(node: Node, info_fn: Any,
+                     initializers: Any = ()) -> str:
+    """Canonical fingerprint of one node: op type + attributes +
+    input/output shapes, dtypes and initializer-ness.
+
+    ``info_fn`` maps a tensor name to its :class:`TensorInfo` (e.g.
+    ``graph.tensor``); ``initializers`` supports ``in`` for weight
+    detection.  Tensor *names* and the surrounding graph do not
+    participate, so structurally equal layers in different models — or
+    the same model rebuilt under different naming — share fingerprints,
+    while any attribute/shape/dtype difference never collides.
+    """
+    return _layer_digest(["node", _node_doc(node, info_fn, initializers)])
+
+
+def group_fingerprint(nodes: List[Node], info_fn: Any,
+                      initializers: Any = (),
+                      external_outputs: Any = (),
+                      folded_indices: Any = ()) -> str:
+    """Canonical fingerprint of a fused group of nodes.
+
+    Covers every member's :func:`node_fingerprint` content *in member
+    order* (a fused cost sums floats in that order, so order is part of
+    identity), the internal wiring via local tensor ids, which member
+    outputs escape the group (``external_outputs``, the boundary tensors
+    whose bytes touch DRAM) and which members the backend folded away
+    (``folded_indices``, by member position).  Equal group fingerprints
+    therefore imply bit-identical fused cost/class/latency analysis.
+    """
+    local_ids: Dict[str, int] = {}
+    members = [_node_doc(n, info_fn, initializers, local_ids)
+               for n in nodes]
+    ext_out = [local_ids[t] for t in external_outputs if t in local_ids]
+    return _layer_digest(["group", members, ext_out,
+                          sorted(int(i) for i in folded_indices)])
+
+
+def tensor_fingerprint(info: TensorInfo) -> str:
+    """Canonical fingerprint of one tensor's shape + dtype (name-free):
+    the identity of a runtime-inserted reformat/conversion copy."""
+    return _layer_digest(["tensor", list(info.shape), info.dtype.value])
 
 
 def report_digest(report: Any) -> str:

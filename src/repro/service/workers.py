@@ -80,6 +80,9 @@ class WorkerPool:
                 self.metrics.gauge(
                     f"analysis_cache.{tier}.misses",
                     lambda t=tier: analysis_cache.miss_counts()[t])
+                self.metrics.gauge(
+                    f"analysis_cache.{tier}.evictions",
+                    lambda t=tier: analysis_cache.eviction_counts()[t])
         self.num_workers = num_workers
         self._backoff = backoff_seconds
         self._fatal = fatal_exceptions

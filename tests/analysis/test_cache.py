@@ -42,11 +42,13 @@ class TestTiers:
         g = small_graph()           # builder output has value_info set
         assert g.value_info
         cache.ensure_shapes(g)      # seeds the tier: one miss
-        assert cache.stats()["shapes"] == {"hits": 0, "misses": 1}
+        assert cache.stats()["shapes"] == {"hits": 0, "misses": 1,
+                                           "evictions": 0}
         cache.ensure_shapes(g)      # present now: one hit
         g2 = from_json(to_json(g))  # sibling with value_info intact
         cache.ensure_shapes(g2)
-        assert cache.stats()["shapes"] == {"hits": 2, "misses": 1}
+        assert cache.stats()["shapes"] == {"hits": 2, "misses": 1,
+                                           "evictions": 0}
 
     def test_arep_memoized_per_precision(self):
         cache = AnalysisCache()
@@ -56,7 +58,8 @@ class TestTiers:
         a3 = cache.arep(g, DataType.FLOAT32)
         assert a1 is a2
         assert a1 is not a3
-        assert cache.stats()["arep"] == {"hits": 1, "misses": 2}
+        assert cache.stats()["arep"] == {"hits": 1, "misses": 2,
+                                         "evictions": 0}
 
     def test_plan_memoized_per_seed(self):
         cache = AnalysisCache()
@@ -82,7 +85,7 @@ class TestTiers:
         cache.arep(small_graph(), DataType.FLOAT16)
         cache.clear()
         assert len(cache) == 0
-        assert all(v == {"hits": 0, "misses": 0}
+        assert all(v == {"hits": 0, "misses": 0, "evictions": 0}
                    for v in cache.stats().values())
 
 
@@ -223,4 +226,172 @@ class TestPlanTierOptimizeKeys:
         cache.plan(g, seed=0, optimize=1)
         assert cache.miss_counts()["plan"] == 1
         assert cache.hit_counts()["plan"] == 1
-        assert cache.stats()["plan"] == {"hits": 1, "misses": 1}
+        assert cache.stats()["plan"] == {"hits": 1, "misses": 1,
+                                         "evictions": 0}
+
+
+class TestTierSizing:
+    """Per-tier LRU capacities (ISSUE 9 satellite): one shared cap
+    starved the layer-scale tiers, so each tier now sizes itself."""
+
+    def test_tier_entries_overrides_single_cap(self):
+        cache = AnalysisCache(max_entries=8, tier_entries={"plan": 2})
+        assert cache.tier_entries["plan"] == 2
+        assert cache.tier_entries["arep"] == 8
+        for i in range(5):
+            cache.get_or_build("plan", (f"fp{i}",), lambda i=i: i)
+            cache.get_or_build("arep", (f"fp{i}",), lambda i=i: i)
+        stats = cache.stats()
+        assert stats["plan"]["evictions"] == 3
+        assert stats["arep"]["evictions"] == 0
+
+    def test_unknown_tier_entries_rejected(self):
+        with pytest.raises(KeyError):
+            AnalysisCache(tier_entries={"layer": 10})
+
+    def test_eviction_counter_in_eviction_counts(self):
+        cache = AnalysisCache(tier_entries={"plan": 1})
+        cache.get_or_build("plan", ("a",), lambda: 1)
+        cache.get_or_build("plan", ("b",), lambda: 2)
+        assert cache.eviction_counts()["plan"] == 1
+        # eviction really dropped the LRU entry: "a" rebuilds as a miss
+        cache.get_or_build("plan", ("a",), lambda: 3)
+        assert cache.stats()["plan"]["misses"] == 3
+
+    def test_layer_store_has_independent_capacity(self):
+        from repro.analysis.layerstore import LayerStore
+        store = LayerStore(max_records=2)
+        for i in range(4):
+            store.record(("latency", f"fp{i}", "spec", "fp16"), lambda: i)
+        assert store.stats()["layer"]["evictions"] == 2
+        assert len(store) == 2
+
+
+class TestLayerStoreSharing:
+    """Store attachment semantics: private by default, shareable
+    explicitly, or disabled for A/B measurement."""
+
+    def test_private_store_by_default(self):
+        a, b = AnalysisCache(), AnalysisCache()
+        assert a.layer_store is not None
+        assert a.layer_store is not b.layer_store
+
+    def test_explicit_store_is_shared(self):
+        from repro.analysis.layerstore import LayerStore
+        store = LayerStore()
+        a = AnalysisCache(layer_store=store)
+        b = AnalysisCache(layer_store=store)
+        assert a.layer_store is store and b.layer_store is store
+
+    def test_false_disables_subgraph_tiers(self):
+        g = small_graph()
+        cache = AnalysisCache(layer_store=False)
+        assert cache.layer_store is None
+        report = Profiler("trt-sim", "a100",
+                          analysis_cache=cache).profile(g)
+        assert report.layers
+        stats = cache.stats()
+        # the tiers still report (zeroed) so gauges stay wired
+        assert stats["layer"] == {"hits": 0, "misses": 0, "evictions": 0}
+        assert stats["structure"] == {"hits": 0, "misses": 0,
+                                      "evictions": 0}
+
+    def test_clear_clears_attached_store(self):
+        cache = AnalysisCache()
+        Profiler("trt-sim", "a100", analysis_cache=cache).profile(
+            small_graph())
+        assert len(cache.layer_store) > 0
+        cache.clear()
+        assert len(cache.layer_store) == 0
+        assert cache.stats()["layer"] == {"hits": 0, "misses": 0,
+                                          "evictions": 0}
+
+    def test_hit_rates_cover_all_tiers(self):
+        cache = AnalysisCache()
+        rates = cache.hit_rates()
+        assert set(rates) == set(AnalysisCache.TIERS)
+        assert all(r == 0.0 for r in rates.values())
+        Profiler("trt-sim", "a100", analysis_cache=cache).profile(
+            small_graph())
+        Profiler("trt-sim", "a100", analysis_cache=cache).profile(
+            small_graph())
+        assert cache.hit_rates()["mapped"] == 0.5
+
+
+class TestAssemblePath:
+    """Cross-precision assembly: a sibling precision's structure plus
+    shared latency records replace compile + mapping entirely."""
+
+    def _digest(self, precision, **kw):
+        g = small_graph()
+        return report_digest(
+            Profiler("trt-sim", "a100", precision, **kw).profile(g))
+
+    def test_warm_store_fresh_cache_assembles_identically(self):
+        from repro.analysis.layerstore import LayerStore
+        store = LayerStore()
+        # donor: fp16 populates the structure + latency records
+        donor_cache = AnalysisCache(layer_store=store)
+        self._digest("fp16", analysis_cache=donor_cache)
+        # fresh cache, warm store: fp32 point assembles, never compiles
+        fresh = AnalysisCache(layer_store=store)
+        warm = self._digest("fp32", analysis_cache=fresh)
+        cold = self._digest("fp32", analysis_cache=False)
+        assert warm == cold
+        stats = fresh.stats()
+        assert stats["mapped"] == {"hits": 0, "misses": 1, "evictions": 0}
+        assert store.stats()["structure"]["hits"] == 1
+
+    def test_assembled_entries_count_as_mapped_misses(self):
+        cache = AnalysisCache()
+        g = small_graph()
+        for precision in ("fp16", "fp32", "bf16"):
+            Profiler("trt-sim", "a100", precision,
+                     analysis_cache=cache).profile(g)
+        stats = cache.stats()
+        # every precision is a distinct mapped key: 3 misses, and the
+        # two assembled points each hit the donor structure
+        assert stats["mapped"]["misses"] == 3
+        assert stats["structure"]["hits"] == 2
+        assert stats["structure"]["misses"] == 1
+
+    def test_assembled_reports_match_cold_per_precision(self):
+        cache = AnalysisCache()
+        for precision in ("fp16", "int8", "bf16"):
+            warm = self._digest(precision, analysis_cache=cache)
+            cold = self._digest(precision, analysis_cache=False)
+            assert warm == cold, f"{precision} diverged via assembly"
+
+
+class TestLayerTierConcurrency:
+    def test_threaded_precision_sweep_is_digest_stable(self):
+        """Six threads × three precisions race the layer and structure
+        tiers; every result must match its single-thread cold digest."""
+        g = small_graph()
+        precisions = ("fp16", "fp32", "int8")
+        cold = {p: report_digest(
+                    Profiler("trt-sim", "a100", p,
+                             analysis_cache=False).profile(g))
+                for p in precisions}
+        cache = AnalysisCache()
+        results, errors = [], []
+
+        def work(precision):
+            try:
+                p = Profiler("trt-sim", "a100", precision,
+                             analysis_cache=cache)
+                results.append(
+                    (precision, report_digest(p.profile(g))))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work,
+                                    args=(precisions[i % 3],))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for precision, digest in results:
+            assert digest == cold[precision]

@@ -141,3 +141,116 @@ def test_report_digest_sensitive_to_metrics():
 
 def test_report_digest_differs_across_batch_sizes():
     assert report_digest(_profile(1)) != report_digest(_profile(2))
+
+
+# ----------------------------------------------------------------------
+# layer-granular fingerprints (ISSUE 9): name-free, cross-graph stable
+# ----------------------------------------------------------------------
+from repro.analysis.arep import AnalyzeRepresentation  # noqa: E402
+from repro.ir.fingerprint import (LAYER_FINGERPRINT_VERSION,  # noqa: E402
+                                  group_fingerprint, node_fingerprint,
+                                  tensor_fingerprint)
+
+
+def _conv_graph(name, input_name, conv_name, *, prelude_relu=False,
+                channels=8, kernel=3, image=16, dtype_size=16):
+    """A tiny graph whose conv layer shape is shared across variants."""
+    b = GraphBuilder(name)
+    x = b.input(input_name, (1, 3, image, image))
+    if prelude_relu:                   # shape-preserving, shifts names
+        x = b.relu(x)
+    y = b.conv(x, channels, kernel, padding=1, name=conv_name)
+    y = b.relu(y)
+    return b.finish(y)
+
+
+def _conv_fp(graph):
+    arep = AnalyzeRepresentation(graph, DataType.FLOAT16)
+    op = next(o for o in arep.ops if o.op_type == "Conv")
+    return op.layer_fingerprint()
+
+
+def test_layer_fingerprint_equal_across_graphs_sharing_shape():
+    """The same conv layer shape in two different graphs — different
+    graph names, tensor names, and surrounding nodes — fingerprints
+    identically: that equality is what lets the layer store share
+    records across a model zoo."""
+    a = _conv_fp(_conv_graph("a", "img", "conv_a"))
+    b = _conv_fp(_conv_graph("b", "data", "totally_different",
+                             prelude_relu=True))
+    assert a == b
+
+
+def test_layer_fingerprint_sensitive_to_attrs_shape_and_channels():
+    base = _conv_fp(_conv_graph("a", "x", "c"))
+    assert base != _conv_fp(_conv_graph("a", "x", "c", kernel=5))
+    assert base != _conv_fp(_conv_graph("a", "x", "c", channels=16))
+    assert base != _conv_fp(_conv_graph("a", "x", "c", image=32))
+
+
+def test_layer_fingerprint_sensitive_to_dtype():
+    def with_dtype(dtype):
+        b = GraphBuilder("a", dtype=dtype)
+        x = b.input("x", (1, 3, 16, 16))
+        y = b.conv(x, 8, 3, padding=1, name="c")
+        return _conv_fp(b.finish(y))
+
+    assert with_dtype(DataType.FLOAT16) != with_dtype(DataType.FLOAT32)
+
+
+def test_node_fingerprint_distinguishes_initializer_inputs():
+    """A weight input and an activation input with identical shape and
+    dtype must not collide — their cost models differ."""
+    g = _conv_graph("a", "x", "c")
+    arep = AnalyzeRepresentation(g, DataType.FLOAT16)
+    conv = next(n for n in g.nodes if n.op_type == "Conv")
+    with_init = node_fingerprint(conv, arep.tensor, g.initializers)
+    without = node_fingerprint(conv, arep.tensor, ())
+    assert with_init != without
+
+
+def test_group_fingerprint_sensitive_to_member_order():
+    """Fused-cost accumulation sums floats in member order, so groups
+    with reordered members must not share a latency record."""
+    g = _conv_graph("a", "x", "c")
+    arep = AnalyzeRepresentation(g, DataType.FLOAT16)
+    nodes = [op.node for op in arep.ops]
+    fwd = group_fingerprint(nodes, arep.tensor, g.initializers)
+    rev = group_fingerprint(list(reversed(nodes)), arep.tensor,
+                            g.initializers)
+    assert fwd != rev
+
+
+def test_group_fingerprint_covers_externals_and_folds():
+    g = _conv_graph("a", "x", "c")
+    arep = AnalyzeRepresentation(g, DataType.FLOAT16)
+    nodes = [op.node for op in arep.ops]
+    base = group_fingerprint(nodes, arep.tensor, g.initializers)
+    ext = group_fingerprint(nodes, arep.tensor, g.initializers,
+                            external_outputs=[nodes[0].outputs[0]])
+    folded = group_fingerprint(nodes, arep.tensor, g.initializers,
+                               folded_indices=[1])
+    assert len({base, ext, folded}) == 3
+
+
+def test_tensor_fingerprint_covers_shape_and_dtype():
+    a = tensor_fingerprint(TensorInfo("t", (1, 8, 4, 4), DataType.FLOAT16))
+    assert a == tensor_fingerprint(
+        TensorInfo("renamed", (1, 8, 4, 4), DataType.FLOAT16))
+    assert a != tensor_fingerprint(
+        TensorInfo("t", (1, 8, 4, 8), DataType.FLOAT16))
+    assert a != tensor_fingerprint(
+        TensorInfo("t", (1, 8, 4, 4), DataType.FLOAT32))
+
+
+def test_layer_fingerprints_carry_version_and_kind_prefix():
+    """node/group/tensor docs hash under distinct kind tags plus the
+    format version, so tiers can never alias and a format bump
+    invalidates stale cross-process stores."""
+    assert LAYER_FINGERPRINT_VERSION == 1
+    g = _conv_graph("a", "x", "c")
+    arep = AnalyzeRepresentation(g, DataType.FLOAT16)
+    conv = next(n for n in g.nodes if n.op_type == "Conv")
+    node_fp = node_fingerprint(conv, arep.tensor, g.initializers)
+    group_fp = group_fingerprint([conv], arep.tensor, g.initializers)
+    assert node_fp != group_fp       # a 1-node group is still a group

@@ -7,6 +7,7 @@ Examples::
     proof run --model vit-tiny --platform a100 --mode measure
     proof peak --platform orin-nx
     proof serve --port 8080 --workers 4 --cache-mb 64
+    proof serve --port 8080 --processes 4 --shard-queue-size 16
     proof batch resnet50 vit-tiny --repeat 2
     proof partition mobilenetv2-10 --devices 4 --strategy pipeline
     proof check --fuzz 200 --seed 0
@@ -129,7 +130,16 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--host", default="127.0.0.1")
     srv.add_argument("--port", type=int, default=8080,
                      help="0 binds an ephemeral port")
-    srv.add_argument("--workers", type=int, default=4)
+    srv.add_argument("--workers", type=int, default=4,
+                     help="worker threads (single-process tier)")
+    srv.add_argument("--processes", type=int, default=1,
+                     help="shard *processes*; >1 runs the sharded "
+                          "multi-process fleet (consistent-hash "
+                          "dispatch, per-shard caches, 429 "
+                          "load-shedding) instead of the thread pool")
+    srv.add_argument("--shard-queue-size", type=int, default=16,
+                     help="bounded per-shard queue (fleet mode); a "
+                          "full shard sheds load with 429/Retry-After")
     srv.add_argument("--cache-mb", type=float, default=64.0,
                      help="in-memory result-cache budget")
     srv.add_argument("--cache-entries", type=int, default=512)
@@ -346,17 +356,27 @@ def _cache_rates_line(cache_stats: dict) -> str:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from ..service import ProfilingServer, ProfilingService
-    service = ProfilingService(
-        workers=args.workers, queue_size=args.queue_size,
-        cache_bytes=int(args.cache_mb * (1 << 20)),
-        cache_entries=args.cache_entries, cache_dir=args.cache_dir)
+    from ..service import ProfilingServer, ProfilingService, \
+        ShardedProfilingService
+    if args.processes > 1:
+        service = ShardedProfilingService(
+            processes=args.processes,
+            shard_queue_size=args.shard_queue_size,
+            cache_bytes=int(args.cache_mb * (1 << 20)),
+            cache_entries=args.cache_entries, cache_dir=args.cache_dir)
+        tier = f"{args.processes} shard processes"
+    else:
+        service = ProfilingService(
+            workers=args.workers, queue_size=args.queue_size,
+            cache_bytes=int(args.cache_mb * (1 << 20)),
+            cache_entries=args.cache_entries, cache_dir=args.cache_dir)
+        tier = f"{args.workers} workers"
     service.start()
     server = ProfilingServer(service, host=args.host, port=args.port)
     print(f"proof service listening on http://{args.host}:{server.port} "
-          f"({args.workers} workers, cache {args.cache_mb:g} MB)")
+          f"({tier}, cache {args.cache_mb:g} MB)")
     print("endpoints: POST /profile   GET /job/<id>   GET /stats   "
-          "GET /healthz")
+          "GET /metrics   GET /healthz")
     try:
         # the serve loop runs in the foreground; returning from it (^C)
         # is the shutdown signal, so no cross-thread shutdown() is needed

@@ -7,19 +7,25 @@ policy, a content-addressed result cache keyed by request fingerprints,
 service metrics, and an ``http.server`` JSON API.
 """
 from .cache import CacheStats, ResultCache
+from .dispatch import Dispatcher, HashRing, ShardBusyError, WorkerCrashError
 from .fingerprint import CACHE_KEY_VERSION, ProfileRequest, request_fingerprint
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .queue import (Job, JobCancelledError, JobFailedError, JobQueue,
                     JobStatus, JobTimeoutError, QueueFullError)
+from .shard import ShardConfig, ShardHandle
 from .workers import WorkerPool
-from .server import ProfilingServer, ProfilingService, default_runner
+from .server import (ProfilingServer, ProfilingService,
+                     ShardedProfilingService, default_runner, make_service)
 
 __all__ = [
     "CacheStats", "ResultCache",
+    "Dispatcher", "HashRing", "ShardBusyError", "WorkerCrashError",
     "CACHE_KEY_VERSION", "ProfileRequest", "request_fingerprint",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "Job", "JobCancelledError", "JobFailedError", "JobQueue", "JobStatus",
     "JobTimeoutError", "QueueFullError",
+    "ShardConfig", "ShardHandle",
     "WorkerPool",
-    "ProfilingServer", "ProfilingService", "default_runner",
+    "ProfilingServer", "ProfilingService", "ShardedProfilingService",
+    "default_runner", "make_service",
 ]

@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
@@ -41,6 +42,8 @@ class CacheStats:
     misses: int
     insertions: int
     evictions: int
+    negative_entries: int = 0
+    negative_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -58,6 +61,8 @@ class CacheStats:
             "hits": self.hits, "disk_hits": self.disk_hits,
             "misses": self.misses, "insertions": self.insertions,
             "evictions": self.evictions, "hit_ratio": self.hit_ratio,
+            "negative_entries": self.negative_entries,
+            "negative_hits": self.negative_hits,
         }
 
 
@@ -65,11 +70,15 @@ class ResultCache:
     """Thread-safe LRU keyed by request fingerprint."""
 
     def __init__(self, max_bytes: int = 64 << 20, max_entries: int = 512,
-                 disk_dir: Optional[str] = None) -> None:
+                 disk_dir: Optional[str] = None,
+                 negative_ttl: float = 300.0) -> None:
         if max_bytes <= 0 or max_entries <= 0:
             raise ValueError("cache bounds must be positive")
         self.max_bytes = int(max_bytes)
         self.max_entries = int(max_entries)
+        #: how long a fatal failure short-circuits identical requests;
+        #: <= 0 disables the negative tier entirely
+        self.negative_ttl = float(negative_ttl)
         self.disk_dir = disk_dir
         if disk_dir:
             os.makedirs(disk_dir, exist_ok=True)
@@ -83,6 +92,12 @@ class ResultCache:
         self._misses = 0
         self._insertions = 0
         self._evictions = 0
+        #: key -> (error type name, error message, monotonic expiry).
+        #: Insertion-ordered, so the oldest entry is evicted when the
+        #: tier outgrows ``max_entries``.
+        self._negative: "OrderedDict[str, Tuple[str, str, float]]" = \
+            OrderedDict()
+        self._negative_hits = 0
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[ProfileReport]:
@@ -104,16 +119,53 @@ class ResultCache:
     def put(self, key: str, report: ProfileReport) -> None:
         self._write_disk(key, report)
         with self._lock:
+            # a real result supersedes any stale negative entry
+            self._negative.pop(key, None)
             self._insert(key, report, count_insertion=True)
+
+    # -- negative tier --------------------------------------------------
+    def put_failure(self, key: str, error: BaseException) -> None:
+        """Record a fatal failure so identical requests short-circuit.
+
+        Entries expire after ``negative_ttl`` seconds — a fatal error
+        (unsupported model, bad config) is deterministic for the same
+        fingerprint, but the TTL bounds staleness across deploys that
+        teach the profiler new ops.
+        """
+        if self.negative_ttl <= 0:
+            return
+        with self._lock:
+            self._negative.pop(key, None)
+            self._negative[key] = (type(error).__name__, str(error),
+                                   time.monotonic() + self.negative_ttl)
+            while len(self._negative) > self.max_entries:
+                self._negative.popitem(last=False)
+
+    def get_failure(self, key: str) -> Optional[Tuple[str, str]]:
+        """``(error type name, message)`` for a live negative entry."""
+        with self._lock:
+            entry = self._negative.get(key)
+            if entry is None:
+                return None
+            if time.monotonic() >= entry[2]:
+                del self._negative[key]
+                return None
+            self._negative_hits += 1
+            return entry[0], entry[1]
 
     def stats(self) -> CacheStats:
         with self._lock:
+            now = time.monotonic()
+            negative = sum(1 for _, _, exp in self._negative.values()
+                           if exp > now)
             return CacheStats(
                 entries=len(self._entries), bytes=self._bytes,
                 max_entries=self.max_entries, max_bytes=self.max_bytes,
                 hits=self._hits, disk_hits=self._disk_hits,
                 misses=self._misses, insertions=self._insertions,
-                evictions=self._evictions)
+                evictions=self._evictions,
+                negative_entries=negative,
+                negative_hits=self._negative_hits)
 
     def clear(self) -> None:
         """Drop the memory tier (disk entries survive)."""

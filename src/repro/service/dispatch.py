@@ -1,0 +1,377 @@
+"""The fleet dispatcher: consistent hashing, supervision, load-shedding.
+
+:class:`Dispatcher` is the multi-process counterpart of
+:class:`~repro.service.workers.WorkerPool`: it fronts N shard
+*processes* (:mod:`repro.service.shard`) instead of N threads, so
+GIL-holding numpy kernels actually run in parallel.
+
+* **Consistent hashing** — a :class:`HashRing` with virtual nodes maps
+  every request fingerprint onto exactly one shard.  Identical
+  requests always land on the same process, so each shard's private
+  result/analysis caches stay hot for the key range it owns, and the
+  single-flight table needs no cross-process coordination.
+* **Single-flight dedup** — while a fingerprint is in flight, followers
+  attach to the leader job parent-side; exactly one task crosses the
+  process boundary.
+* **Load-shedding** — each shard carries a bounded waiting queue; when
+  it is full, submission fails with :class:`ShardBusyError` carrying a
+  ``retry_after`` estimate (EWMA service time x backlog), which the
+  HTTP layer surfaces as ``429`` + ``Retry-After``.
+* **Supervision** — a supervisor thread respawns crashed shard
+  processes and drains their queued jobs back for re-dispatch; the one
+  interrupted job counts a :class:`WorkerCrashError` attempt against
+  its retry budget (a crashing request must not crash-loop the shard
+  forever).  Per-attempt timeouts are enforced by killing the wedged
+  process — the escalation a thread pool cannot perform.
+"""
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Type
+
+from ..backends.base import UnsupportedModelError
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import get_tracer
+from .cache import ResultCache
+from .queue import Job, JobTimeoutError
+from .shard import ShardConfig, ShardHandle, fleet_context
+
+__all__ = ["HashRing", "Dispatcher", "ShardBusyError", "WorkerCrashError"]
+
+
+class ShardBusyError(RuntimeError):
+    """A shard's bounded queue rejected a submission (load-shedding).
+
+    ``retry_after`` estimates, from the shard's observed service time
+    and current backlog, when a retry is likely to be accepted; the
+    HTTP layer maps this to ``429`` with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class WorkerCrashError(RuntimeError):
+    """A shard process died while executing the job (transient)."""
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Each shard is hashed onto the ring ``replicas`` times; a key is
+    owned by the first virtual node clockwise from its own hash.  The
+    map is a total function (every key has exactly one owner), and
+    removing a shard only moves the keys that shard owned — the
+    property the shard-rebalance tests pin down.
+    """
+
+    def __init__(self, shard_ids: Iterable[int], replicas: int = 64) -> None:
+        if replicas <= 0:
+            raise ValueError("need at least one virtual node per shard")
+        self.replicas = replicas
+        self._points: List[int] = []
+        self._owners: List[int] = []
+        self._ids: List[int] = []
+        for shard_id in shard_ids:
+            self.add(shard_id)
+        if not self._ids:
+            raise ValueError("hash ring needs at least one shard")
+
+    @staticmethod
+    def _hash(token: str) -> int:
+        digest = hashlib.sha256(token.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def _rebuild(self, ids: List[int]) -> None:
+        nodes = sorted(
+            (self._hash(f"shard-{shard_id}#{replica}"), shard_id)
+            for shard_id in ids for replica in range(self.replicas))
+        self._points = [point for point, _ in nodes]
+        self._owners = [owner for _, owner in nodes]
+        self._ids = sorted(ids)
+
+    def add(self, shard_id: int) -> None:
+        if shard_id in self._ids:
+            raise ValueError(f"shard {shard_id} already on the ring")
+        self._rebuild(self._ids + [shard_id])
+
+    def remove(self, shard_id: int) -> None:
+        if shard_id not in self._ids:
+            raise KeyError(f"shard {shard_id} not on the ring")
+        if len(self._ids) == 1:
+            raise ValueError("cannot remove the last shard")
+        self._rebuild([s for s in self._ids if s != shard_id])
+
+    @property
+    def shard_ids(self) -> Tuple[int, ...]:
+        return tuple(self._ids)
+
+    def shard_for(self, key: str) -> int:
+        idx = bisect.bisect_right(self._points, self._hash(key))
+        if idx == len(self._points):
+            idx = 0             # wrap past the top of the ring
+        return self._owners[idx]
+
+    def ownership(self, keys: Iterable[str]) -> Dict[int, List[str]]:
+        """Partition ``keys`` by owning shard (diagnostics + tests)."""
+        owned: Dict[int, List[str]] = {sid: [] for sid in self._ids}
+        for key in keys:
+            owned[self.shard_for(key)].append(key)
+        return owned
+
+
+class Dispatcher:
+    """Routes jobs onto shard processes and owns fleet policy."""
+
+    def __init__(
+        self,
+        runner: Optional[Callable[[Any], Any]] = None,
+        *,
+        cache: ResultCache,
+        metrics: Optional[MetricsRegistry] = None,
+        processes: int = 2,
+        shard_queue_size: int = 16,
+        backoff_seconds: float = 0.05,
+        fatal_exceptions: Tuple[Type[BaseException], ...] =
+            (UnsupportedModelError,),
+        shard_config: Optional[ShardConfig] = None,
+        replicas: int = 64,
+        supervisor_poll_seconds: float = 0.1,
+        tracer=None,
+    ) -> None:
+        if processes <= 0:
+            raise ValueError("need at least one shard process")
+        self.tracer = tracer
+        self._cache = cache
+        self.metrics = metrics or MetricsRegistry()
+        self._backoff = backoff_seconds
+        self._fatal = fatal_exceptions
+        self._supervisor_poll = supervisor_poll_seconds
+        self._inflight: Dict[str, Job] = {}
+        self._inflight_lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
+        self._running = False
+        ctx = fleet_context()
+        config = shard_config or ShardConfig(
+            fatal_exceptions=fatal_exceptions)
+        self.ring = HashRing(range(processes), replicas=replicas)
+        self.shards: Dict[int, ShardHandle] = {
+            shard_id: ShardHandle(
+                shard_id, on_reply=self._on_reply, runner=runner,
+                config=config, queue_size=shard_queue_size, ctx=ctx)
+            for shard_id in range(processes)
+        }
+        for shard_id, handle in self.shards.items():
+            self.metrics.gauge(f"shard.{shard_id}.queue.depth",
+                               lambda h=handle: h.depth)
+            self.metrics.gauge(f"shard.{shard_id}.utilization",
+                               lambda h=handle: h.utilization)
+        self.metrics.gauge(
+            "queue.depth",
+            lambda: sum(h.depth for h in self.shards.values()))
+        self.metrics.gauge(
+            "shard.utilization",
+            lambda: sum(h.utilization for h in self.shards.values())
+            / len(self.shards))
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._stop_event.clear()
+        for handle in self.shards.values():
+            handle.start()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="proof-fleet-supervisor",
+            daemon=True)
+        self._supervisor.start()
+
+    def stop(self) -> None:
+        """Stop the supervisor and the shard processes.
+
+        Jobs still waiting on a shard stay pending, mirroring
+        :meth:`WorkerPool.stop`.
+        """
+        self._running = False
+        self._stop_event.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=5.0)
+            self._supervisor = None
+        for handle in self.shards.values():
+            handle.stop()
+
+    @property
+    def inflight_count(self) -> int:
+        with self._inflight_lock:
+            return len(self._inflight)
+
+    # ------------------------------------------------------------------
+    def _tracer(self):
+        return self.tracer if self.tracer is not None else get_tracer()
+
+    def submit(self, job: Job) -> Job:
+        """Route a job onto its owning shard.
+
+        Mirrors :meth:`WorkerPool.submit`: result-cache and
+        negative-cache hits complete immediately, identical in-flight
+        fingerprints coalesce onto the leader, and a full shard queue
+        sheds load with :class:`ShardBusyError`.
+        """
+        with self._tracer().span("job.submit", trace_id=job.id,
+                                 key=job.key[:16]) as span:
+            cached = self._cache.get(job.key)
+            if cached is not None:
+                span.set("outcome", "cache_hit")
+                job.cache_hit = True
+                job.finish(cached)
+                self.metrics.counter("jobs.cache_hits").inc()
+                return job
+            failure = self._cache.get_failure(job.key)
+            if failure is not None:
+                span.set("outcome", "negative_hit")
+                job.cache_hit = True
+                job.fail(self._revive_failure(failure))
+                self.metrics.counter("jobs.negative_hits").inc()
+                return job
+            with self._inflight_lock:
+                leader = self._inflight.get(job.key)
+                if leader is not None and not leader.done:
+                    leader.dedup_count += 1
+                    span.set("outcome", "deduplicated")
+                    span.set("merged_onto", leader.id)
+                    self.metrics.counter("jobs.deduplicated").inc()
+                    return leader
+                self._inflight[job.key] = job
+            shard_id = self.ring.shard_for(job.key)
+            span.set("shard", shard_id)
+            try:
+                self.shards[shard_id].enqueue(job)
+            except ShardBusyError:
+                self._drop_inflight(job)
+                span.set("outcome", "shed")
+                self.metrics.counter("jobs.shed").inc()
+                raise
+            span.set("outcome", "dispatched")
+            self.metrics.counter("jobs.submitted").inc()
+            return job
+
+    # -- completion policy (runs on shard reader threads) --------------
+    def _on_reply(self, handle: ShardHandle, job: Job, reply: dict) -> None:
+        tracer = self._tracer()
+        if reply["ok"]:
+            report = reply["result"]
+            if reply.get("cache_hit"):
+                job.cache_hit = True
+            try:
+                with tracer.span("cache.store", trace_id=job.id):
+                    self._cache.put(job.key, report)
+            except Exception:
+                # an uncacheable result must not strand the job or kill
+                # this reader thread — serve it and skip the cache
+                self.metrics.counter("cache.store_errors").inc()
+            self._drop_inflight(job)
+            job.finish(report)
+            self.metrics.counter("jobs.succeeded").inc()
+            self.metrics.histogram("service.seconds").observe(
+                reply.get("service_seconds", 0.0))
+            if tracer.enabled:
+                tracer.event("dispatch.reply", trace_id=job.id,
+                             shard=handle.shard_id, outcome="succeeded")
+            return
+        type_name, message, fatal = reply["error"]
+        if fatal:
+            error = self._revive_error(type_name, message)
+            self._cache.put_failure(job.key, error)
+            self._fail(handle, job, error)
+            return
+        self._retry_or_fail(
+            handle, job, self._revive_error(type_name, message))
+
+    def _retry_or_fail(self, handle: ShardHandle, job: Job,
+                       error: BaseException) -> None:
+        """Transient failure: retry with interruptible backoff, or give
+        up when the budget (``max_retries + 1`` attempts) is spent."""
+        if job.attempts <= job.max_retries and not self._stop_event.is_set():
+            self.metrics.counter("jobs.retries").inc()
+            # the wait runs on this shard's reader thread: the shard
+            # backs off with its failing job, and stop() interrupts
+            if not self._stop_event.wait(
+                    self._backoff * (2 ** (job.attempts - 1))):
+                handle.requeue_front(job)
+                return
+        self._fail(handle, job, error)
+
+    def _fail(self, handle: ShardHandle, job: Job,
+              error: BaseException) -> None:
+        self._drop_inflight(job)
+        job.fail(error)
+        self.metrics.counter("jobs.failed").inc()
+        tracer = self._tracer()
+        if tracer.enabled:
+            tracer.event("dispatch.reply", trace_id=job.id,
+                         shard=handle.shard_id, outcome="failed",
+                         error=str(error))
+
+    # -- supervision ---------------------------------------------------
+    def _supervise(self) -> None:
+        while not self._stop_event.wait(self._supervisor_poll):
+            for handle in self.shards.values():
+                if handle.needs_respawn():
+                    self._respawn(handle)
+
+    def _respawn(self, handle: ShardHandle) -> None:
+        interrupted, timed_out, waiting = handle.take_pending()
+        handle.respawn()
+        self.metrics.counter("shard.respawns").inc()
+        tracer = self._tracer()
+        if tracer.enabled:
+            tracer.event("dispatch.respawn", shard=handle.shard_id,
+                         drained=len(waiting) + (interrupted is not None))
+        if interrupted is not None:
+            if timed_out:
+                error: BaseException = JobTimeoutError(
+                    f"attempt {interrupted.attempts} exceeded "
+                    f"{interrupted.timeout_seconds}s "
+                    f"(shard {handle.shard_id} killed)")
+            else:
+                error = WorkerCrashError(
+                    f"shard {handle.shard_id} died while executing "
+                    f"job {interrupted.id}")
+            self._retry_or_fail(handle, interrupted, error)
+        for job in waiting:
+            # drained jobs were already admitted once: re-dispatch
+            # without shedding so the crash cannot lose them
+            self.metrics.counter("jobs.drained").inc()
+            handle.enqueue(job, shed=False)
+
+    # ------------------------------------------------------------------
+    def _revive_error(self, type_name: str, message: str) -> BaseException:
+        for cls in self._fatal:
+            if cls.__name__ == type_name:
+                return cls(message)
+        return RuntimeError(f"{type_name}: {message}")
+
+    def _revive_failure(self, failure: Tuple[str, str]) -> BaseException:
+        return self._revive_error(failure[0], failure[1])
+
+    def _drop_inflight(self, job: Job) -> None:
+        with self._inflight_lock:
+            if self._inflight.get(job.key) is job:
+                del self._inflight[job.key]
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "shards": {shard_id: handle.stats()
+                       for shard_id, handle in self.shards.items()},
+            "inflight": self.inflight_count,
+            "depth": sum(h.depth for h in self.shards.values()),
+        }

@@ -190,11 +190,30 @@ class JobQueue:
 
     @property
     def depth(self) -> int:
+        """Jobs actually waiting for a worker.
+
+        Cancelled entries still sitting in the heap (they are dropped
+        lazily, when popped or when ``put`` needs their slot) do not
+        count: they will never run, so they are not queue *load*.
+        """
         with self._lock:
-            return len(self._heap)
+            return sum(1 for _, _, job in self._heap
+                       if job.status != JobStatus.CANCELLED)
+
+    def _compact_locked(self) -> None:
+        """Drop cancelled entries so they stop holding capacity."""
+        live = [entry for entry in self._heap
+                if entry[2].status != JobStatus.CANCELLED]
+        if len(live) != len(self._heap):
+            self._heap = live
+            heapq.heapify(self._heap)
 
     def put(self, job: Job) -> None:
         with self._lock:
+            if len(self._heap) >= self.maxsize:
+                # a burst of cancels must not cause spurious
+                # backpressure: reclaim dead entries before rejecting
+                self._compact_locked()
             if len(self._heap) >= self.maxsize:
                 raise QueueFullError(
                     f"job queue full ({self.maxsize} pending)")
@@ -207,12 +226,24 @@ class JobQueue:
                          priority=job.priority, depth=depth)
 
     def get(self, timeout: Optional[float] = None) -> Optional[Job]:
-        """Pop the highest-priority job, or None on timeout."""
+        """Pop the highest-priority job, or None on timeout.
+
+        The condition wait is a deadline loop: with several consumers a
+        notified waiter can lose the race for the single new entry, in
+        which case it re-waits for the *remaining* time instead of
+        returning early.
+        """
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
         with self._not_empty:
-            if not self._heap and not self._not_empty.wait(timeout):
-                return None
-            if not self._heap:
-                return None
+            while not self._heap:
+                if deadline is None:
+                    self._not_empty.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._not_empty.wait(remaining)
             job = heapq.heappop(self._heap)[2]
             depth = len(self._heap)
         tracer = self._tracer()

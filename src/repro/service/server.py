@@ -21,13 +21,19 @@ per job, so worker threads share nothing.
   (save the ``traceEvents`` array and open it in Perfetto);
 * ``GET /healthz`` — liveness.
 
-Client errors are 4xx, a full queue is 503, and a failed job reports
-its error string rather than crashing the server.
+Client errors are 4xx, a full queue is 503 (thread tier) or 429 with a
+``Retry-After`` header (sharded fleet, load-shedding), and a failed job
+reports its error string rather than crashing the server.
+
+:class:`ShardedProfilingService` swaps the thread pool for the
+multi-process shard fleet (:mod:`repro.service.dispatch`) behind the
+same facade; :func:`make_service` picks the tier from a process count.
 """
 from __future__ import annotations
 
 import json
 import logging
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Union
@@ -46,12 +52,15 @@ from ..obs.export import chrome_trace_events
 from ..obs.metrics import PROMETHEUS_CONTENT_TYPE
 from ..obs.trace import Tracer
 from .cache import ResultCache
+from .dispatch import Dispatcher, ShardBusyError
 from .fingerprint import ProfileRequest
 from .metrics import MetricsRegistry
 from .queue import Job, JobQueue, JobStatus, QueueFullError
+from .shard import ShardConfig
 from .workers import WorkerPool
 
-__all__ = ["ProfilingService", "ProfilingServer", "default_runner"]
+__all__ = ["ProfilingService", "ShardedProfilingService",
+           "ProfilingServer", "default_runner", "make_service"]
 
 log = logging.getLogger(__name__)
 
@@ -85,6 +94,7 @@ class ProfilingService:
         cache_bytes: int = 64 << 20,
         cache_entries: int = 512,
         cache_dir: Optional[str] = None,
+        negative_ttl: float = 300.0,
         max_retries: int = 2,
         backoff_seconds: float = 0.05,
         default_timeout: Optional[float] = None,
@@ -93,19 +103,12 @@ class ProfilingService:
         analysis_cache: Optional[AnalysisCache] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
-        self.metrics = MetricsRegistry()
-        self.cache = ResultCache(max_bytes=cache_bytes,
-                                 max_entries=cache_entries,
-                                 disk_dir=cache_dir)
-        #: service-wide span collector behind ``/trace/<job>``: a
-        #: bounded ring, always on — per-job span overhead is a few µs
-        #: against multi-ms profiling jobs
-        self.tracer = tracer if tracer is not None else Tracer(
-            max_spans=50_000)
-        #: per-service structural memo shared by all worker threads;
-        #: sits below the report cache — see docs/PERF.md
-        self.analysis_cache = analysis_cache or AnalysisCache(
-            metrics=self.metrics)
+        self._init_core(cache_bytes=cache_bytes,
+                        cache_entries=cache_entries, cache_dir=cache_dir,
+                        negative_ttl=negative_ttl, max_retries=max_retries,
+                        default_timeout=default_timeout,
+                        max_tracked_jobs=max_tracked_jobs,
+                        analysis_cache=analysis_cache, tracer=tracer)
         if runner is None:
             runner = lambda request: default_runner(  # noqa: E731
                 request, analysis_cache=self.analysis_cache,
@@ -117,9 +120,39 @@ class ProfilingService:
                                backoff_seconds=backoff_seconds,
                                analysis_cache=self.analysis_cache,
                                tracer=self.tracer)
+        self.metrics.gauge("queue.depth", lambda: self.queue.depth)
+
+    def _init_core(
+        self,
+        *,
+        cache_bytes: int,
+        cache_entries: int,
+        cache_dir: Optional[str],
+        negative_ttl: float,
+        max_retries: int,
+        default_timeout: Optional[float],
+        max_tracked_jobs: int,
+        analysis_cache: Optional[AnalysisCache],
+        tracer: Optional[Tracer],
+    ) -> None:
+        """State shared by the thread-pool and sharded services:
+        validation, fingerprinting, caches, job tracking, metrics."""
+        self.metrics = MetricsRegistry()
+        self.cache = ResultCache(max_bytes=cache_bytes,
+                                 max_entries=cache_entries,
+                                 disk_dir=cache_dir,
+                                 negative_ttl=negative_ttl)
+        #: service-wide span collector behind ``/trace/<job>``: a
+        #: bounded ring, always on — per-job span overhead is a few µs
+        #: against multi-ms profiling jobs
+        self.tracer = tracer if tracer is not None else Tracer(
+            max_spans=50_000)
+        #: per-service structural memo shared by all worker threads;
+        #: sits below the report cache — see docs/PERF.md
+        self.analysis_cache = analysis_cache or AnalysisCache(
+            metrics=self.metrics)
         self.default_max_retries = max_retries
         self.default_timeout = default_timeout
-        self.metrics.gauge("queue.depth", lambda: self.queue.depth)
         self._jobs: Dict[str, Job] = {}
         self._jobs_lock = threading.Lock()
         self._max_tracked = max_tracked_jobs
@@ -140,6 +173,11 @@ class ProfilingService:
 
     def stop(self) -> None:
         self.pool.stop()
+
+    def _dispatch(self, job: Job) -> Job:
+        """Hand a validated job to the execution tier (overridden by
+        the sharded service to route through the dispatcher)."""
+        return self.pool.submit(job)
 
     def __enter__(self) -> "ProfilingService":
         return self.start()
@@ -167,7 +205,9 @@ class ProfilingService:
         Exactly one of ``model`` (a zoo key) or ``graph`` must be given.
         Returns the tracking job — possibly an already-finished one (a
         cache hit) or an in-flight job for the same fingerprint.
-        Raises :class:`QueueFullError` under backpressure.
+        Raises :class:`QueueFullError` under backpressure (the sharded
+        service raises :class:`ShardBusyError` instead, which carries a
+        ``retry_after`` estimate).
         """
         if (model is None) == (graph is None):
             raise ValueError("pass exactly one of model= or graph=")
@@ -225,7 +265,7 @@ class ProfilingService:
             else max_retries,
             summary=request.summary(),
         )
-        job = self.pool.submit(job)
+        job = self._dispatch(job)
         self._track(job)
         return job
 
@@ -292,6 +332,112 @@ class ProfilingService:
                 self._jobs.pop(next(iter(self._jobs)))
 
 
+class ShardedProfilingService(ProfilingService):
+    """The multi-process fleet: same API, process-level parallelism.
+
+    Validation, fingerprinting, the front result cache, job tracking
+    and tracing stay in this (parent) process; execution routes through
+    a :class:`~repro.service.dispatch.Dispatcher` onto ``processes``
+    shard processes, each owning a consistent-hash key range with its
+    own private result/analysis caches.  Numpy kernels hold the GIL,
+    so this is the tier that actually scales profiling throughput with
+    cores — see ``benchmarks/test_service_scaleout.py``.
+
+    Differences from the thread-pool service:
+
+    * backpressure is per shard: a full shard queue raises
+      :class:`~repro.service.dispatch.ShardBusyError` (HTTP ``429`` +
+      ``Retry-After``) instead of :class:`QueueFullError` (``503``);
+    * per-attempt timeouts kill the wedged shard process (the
+      supervisor respawns it) instead of abandoning a helper thread;
+    * profiler spans from inside shard processes do not reach the
+      parent tracer — ``/trace/<job>`` shows dispatch-level spans only.
+    """
+
+    def __init__(
+        self,
+        *,
+        processes: int = 2,
+        shard_queue_size: int = 16,
+        cache_bytes: int = 64 << 20,
+        cache_entries: int = 512,
+        cache_dir: Optional[str] = None,
+        negative_ttl: float = 300.0,
+        shard_cache_bytes: int = 16 << 20,
+        shard_cache_entries: int = 256,
+        max_retries: int = 2,
+        backoff_seconds: float = 0.05,
+        default_timeout: Optional[float] = None,
+        runner=None,
+        max_tracked_jobs: int = 4096,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        # shards own their (process-private) analysis caches; the
+        # parent-side one exists only for facade compatibility, so it
+        # does not register per-tier gauges that would always read zero
+        self._init_core(cache_bytes=cache_bytes,
+                        cache_entries=cache_entries, cache_dir=cache_dir,
+                        negative_ttl=negative_ttl, max_retries=max_retries,
+                        default_timeout=default_timeout,
+                        max_tracked_jobs=max_tracked_jobs,
+                        analysis_cache=AnalysisCache(), tracer=tracer)
+        shard_config = ShardConfig(cache_bytes=shard_cache_bytes,
+                                   cache_entries=shard_cache_entries,
+                                   cache_dir=cache_dir,
+                                   negative_ttl=negative_ttl)
+        self.dispatcher = Dispatcher(
+            runner, cache=self.cache, metrics=self.metrics,
+            processes=processes, shard_queue_size=shard_queue_size,
+            backoff_seconds=backoff_seconds, shard_config=shard_config,
+            tracer=self.tracer)
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ShardedProfilingService":
+        self.dispatcher.start()
+        return self
+
+    def stop(self) -> None:
+        self.dispatcher.stop()
+
+    def _dispatch(self, job: Job) -> Job:
+        return self.dispatcher.submit(job)
+
+    # -- inspection -----------------------------------------------------
+    @property
+    def processes(self) -> int:
+        return self.dispatcher.num_shards
+
+    def stats(self) -> Dict[str, Any]:
+        snap = self.metrics.snapshot()
+        fleet = self.dispatcher.stats()
+        return {
+            "cache": self.cache.stats().to_dict(),
+            "queue": {"depth": fleet["depth"],
+                      "capacity": sum(
+                          h.queue_size
+                          for h in self.dispatcher.shards.values()),
+                      "inflight": fleet["inflight"]},
+            "shards": fleet["shards"],
+            "workers": self.dispatcher.num_shards,
+            "counters": snap["counters"],
+            "gauges": snap["gauges"],
+            "histograms": snap["histograms"],
+        }
+
+
+def make_service(processes: int = 1, **kwargs) -> ProfilingService:
+    """Build the right service tier for a worker count.
+
+    ``processes <= 1`` keeps the in-process thread pool (lowest
+    latency, shared memory); ``processes > 1`` builds the sharded
+    multi-process fleet.  ``kwargs`` are forwarded to the chosen
+    constructor.
+    """
+    if processes > 1:
+        return ShardedProfilingService(processes=processes, **kwargs)
+    return ProfilingService(**kwargs)
+
+
 # ----------------------------------------------------------------------
 # HTTP front-end
 # ----------------------------------------------------------------------
@@ -352,6 +498,14 @@ class _Handler(BaseHTTPRequestHandler):
         wait_timeout = body.pop("wait_timeout", 60.0)
         try:
             job = self.service.submit(**body)
+        except ShardBusyError as exc:
+            # load-shedding: tell the client when the owning shard
+            # expects to absorb another request
+            retry_after = max(1, int(math.ceil(exc.retry_after)))
+            self._send_json(429, {"error": str(exc),
+                                  "retry_after": exc.retry_after},
+                            headers={"Retry-After": str(retry_after)})
+            return
         except QueueFullError as exc:
             self._send_json(503, {"error": str(exc)})
             return
@@ -371,18 +525,22 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(code, job.to_dict(include_report=True))
 
     # ------------------------------------------------------------------
-    def _send_json(self, code: int, doc: Dict[str, Any]) -> None:
+    def _send_json(self, code: int, doc: Dict[str, Any],
+                   headers: Optional[Dict[str, str]] = None) -> None:
         self._send_bytes(code, json.dumps(doc).encode("utf-8"),
-                         "application/json")
+                         "application/json", headers=headers)
 
     def _send_text(self, code: int, text: str) -> None:
         self._send_bytes(code, text.encode("utf-8"),
                          "text/plain; charset=utf-8")
 
-    def _send_bytes(self, code: int, payload: bytes, ctype: str) -> None:
+    def _send_bytes(self, code: int, payload: bytes, ctype: str,
+                    headers: Optional[Dict[str, str]] = None) -> None:
         self.send_response(code)
         self.send_header("Content-Type", ctype)
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 

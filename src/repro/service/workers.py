@@ -11,9 +11,12 @@ tests).  Around that single call sits the service's reliability policy:
 * **cache short-circuit** — submissions whose fingerprint is already
   cached complete immediately without touching the queue;
 * **retry with exponential backoff** — transient failures re-run up to
-  ``job.max_retries`` times (``backoff * 2^attempt`` sleeps); fatal
-  errors (an :class:`UnsupportedModelError` will never start working)
-  fail immediately;
+  ``job.max_retries`` times (``backoff * 2^attempt`` waits on the
+  pool's stop event, so shutdown interrupts a backoff immediately);
+  fatal errors (an :class:`UnsupportedModelError` will never start
+  working) fail immediately and are recorded in the cache's TTL'd
+  negative tier so identical requests short-circuit with the original
+  error;
 * **per-attempt timeout** — a timed attempt runs on a helper thread and
   is abandoned when it overruns; the timeout counts as a transient
   failure, so it participates in the retry budget.
@@ -22,7 +25,6 @@ from __future__ import annotations
 
 import logging
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Optional, Tuple, Type
 
@@ -90,12 +92,16 @@ class WorkerPool:
         self._inflight_lock = threading.Lock()
         self._executor: Optional[ThreadPoolExecutor] = None
         self._running = False
+        #: set on shutdown so retry backoffs wake immediately instead
+        #: of sleeping out the whole exponential chain
+        self._stop_event = threading.Event()
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         if self._running:
             return
         self._running = True
+        self._stop_event.clear()
         self._executor = ThreadPoolExecutor(
             max_workers=self.num_workers, thread_name_prefix="proof-worker")
         for _ in range(self.num_workers):
@@ -105,9 +111,12 @@ class WorkerPool:
         """Stop accepting work and join the worker threads.
 
         Jobs still pending in the queue stay pending; abandon or restart
-        the pool to drain them.
+        the pool to drain them.  A worker mid-backoff observes the stop
+        event immediately and fails its job with the last error rather
+        than holding shutdown for the rest of the backoff chain.
         """
         self._running = False
+        self._stop_event.set()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -137,6 +146,16 @@ class WorkerPool:
                 job.cache_hit = True
                 job.finish(cached)
                 self.metrics.counter("jobs.cache_hits").inc()
+                return job
+            failure = self._cache.get_failure(job.key)
+            if failure is not None:
+                # a fatal error is as deterministic as a report: fail
+                # immediately with the original error instead of
+                # re-running the compile/map pipeline to rediscover it
+                span.set("outcome", "negative_hit")
+                job.cache_hit = True
+                job.fail(self._revive_failure(failure))
+                self.metrics.counter("jobs.negative_hits").inc()
                 return job
             with self._inflight_lock:
                 leader = self._inflight.get(job.key)
@@ -191,12 +210,15 @@ class WorkerPool:
                     break
                 except self._fatal as exc:
                     last_error = exc
+                    self._cache.put_failure(job.key, exc)
                     break
                 except Exception as exc:
                     last_error = exc
                     if attempt < job.max_retries:
                         self.metrics.counter("jobs.retries").inc()
-                        time.sleep(self._backoff * (2 ** attempt))
+                        if self._stop_event.wait(
+                                self._backoff * (2 ** attempt)):
+                            break       # shutting down: give up now
             # publish-then-unregister: followers either find the leader
             # in flight or the result already in the cache — never
             # neither
@@ -253,6 +275,19 @@ class WorkerPool:
         if error:
             raise error[0]
         return box[0]
+
+    def _revive_failure(self, failure: Tuple[str, str]) -> BaseException:
+        """Rebuild the original fatal error from a negative-cache entry.
+
+        The entry stores ``(type name, message)``; when the type is one
+        of the pool's fatal exception classes the error round-trips
+        exactly, otherwise a RuntimeError carries the original text.
+        """
+        type_name, message = failure
+        for cls in self._fatal:
+            if cls.__name__ == type_name:
+                return cls(message)
+        return RuntimeError(f"{type_name}: {message}")
 
     def _drop_inflight(self, job: Job) -> None:
         with self._inflight_lock:

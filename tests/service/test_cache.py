@@ -130,3 +130,52 @@ def test_oversized_report_leaves_zeroed_consistent_state(make_report):
     cache.put("s", make_report("s"))
     assert "s" in cache
     assert cache.stats().bytes <= cache.max_bytes
+
+
+# ----------------------------------------------------------------------
+# negative tier (TTL'd fatal-failure entries)
+# ----------------------------------------------------------------------
+def test_negative_entry_roundtrip_and_stats():
+    cache = ResultCache()
+    assert cache.get_failure("k") is None
+    cache.put_failure("k", ValueError("unsupported op: FancyConv"))
+    assert cache.get_failure("k") == \
+        ("ValueError", "unsupported op: FancyConv")
+    stats = cache.stats()
+    assert stats.negative_entries == 1
+    assert stats.negative_hits == 1
+    assert stats.to_dict()["negative_hits"] == 1
+
+
+def test_negative_entry_expires():
+    import time
+
+    cache = ResultCache(negative_ttl=0.05)
+    cache.put_failure("k", ValueError("boom"))
+    assert cache.get_failure("k") is not None
+    time.sleep(0.08)
+    assert cache.get_failure("k") is None
+    assert cache.stats().negative_entries == 0
+
+
+def test_negative_tier_disabled_with_zero_ttl():
+    cache = ResultCache(negative_ttl=0.0)
+    cache.put_failure("k", ValueError("boom"))
+    assert cache.get_failure("k") is None
+
+
+def test_positive_result_supersedes_negative_entry(make_report):
+    cache = ResultCache()
+    cache.put_failure("k", ValueError("flaky classifier said fatal"))
+    cache.put("k", make_report())
+    assert cache.get_failure("k") is None
+    assert cache.get("k") is not None
+
+
+def test_negative_tier_bounded_by_max_entries():
+    cache = ResultCache(max_entries=3)
+    for i in range(5):
+        cache.put_failure(f"k{i}", ValueError(f"e{i}"))
+    assert cache.stats().negative_entries == 3
+    assert cache.get_failure("k0") is None       # oldest evicted
+    assert cache.get_failure("k4") is not None

@@ -93,3 +93,96 @@ def test_job_to_dict_shape(make_report):
     assert doc["request"]["model"] == "resnet50"
     assert doc["report"]["model_name"] == "resnet50"
     assert "report" not in job.to_dict()
+
+
+# ----------------------------------------------------------------------
+# regression: cancelled entries must not hold queue capacity
+# ----------------------------------------------------------------------
+def test_cancel_storm_does_not_cause_spurious_backpressure():
+    """A burst of cancels on a full queue frees capacity for new work
+    (cancelled entries used to sit in the heap counting toward
+    ``maxsize`` until a worker popped them)."""
+    q = JobQueue(maxsize=4)
+    jobs = [make_job(f"j{i}") for i in range(4)]
+    for job in jobs:
+        q.put(job)
+    for job in jobs[:3]:
+        assert job.cancel()
+    assert q.depth == 1                  # cancelled entries are not load
+    for i in range(3):                   # the freed slots are usable
+        q.put(make_job(f"new-{i}"))
+    with pytest.raises(QueueFullError):  # ... but the bound still holds
+        q.put(make_job("overflow"))
+
+
+def test_depth_excludes_cancelled_entries():
+    q = JobQueue(maxsize=8)
+    keep, drop = make_job("keep"), make_job("drop")
+    q.put(keep)
+    q.put(drop)
+    assert q.depth == 2
+    drop.cancel()
+    assert q.depth == 1
+
+
+def test_get_skips_nothing_after_compaction():
+    """Compaction on overflow must not lose live jobs or break the
+    priority order."""
+    q = JobQueue(maxsize=3)
+    low = make_job("low", priority=0)
+    dead = make_job("dead", priority=9)
+    high = make_job("high", priority=5)
+    for job in (low, dead, high):
+        q.put(job)
+    dead.cancel()
+    q.put(make_job("mid", priority=1))   # triggers compaction
+    assert [q.get().id for _ in range(3)] == ["high", "mid", "low"]
+
+
+# ----------------------------------------------------------------------
+# regression: a notified consumer that loses the race must re-wait
+# ----------------------------------------------------------------------
+def test_multi_consumer_get_rewait_holds_full_timeout():
+    """With two blocked consumers and one job, the loser re-waits with
+    the remaining deadline instead of returning None early (the wait
+    used to be guarded by ``if`` instead of a deadline loop)."""
+    import threading
+    import time
+
+    q = JobQueue(maxsize=4)
+    timeout = 0.8
+    results = []
+    durations = []
+    lock = threading.Lock()
+
+    def consume():
+        t0 = time.monotonic()
+        job = q.get(timeout=timeout)
+        elapsed = time.monotonic() - t0
+        with lock:
+            results.append(job)
+            durations.append(elapsed)
+
+    threads = [threading.Thread(target=consume) for _ in range(2)]
+    for t in threads:
+        t.start()
+    time.sleep(0.1)                      # both consumers blocked
+    q.put(make_job("only"))              # one notify, one job
+    for t in threads:
+        t.join()
+    winners = [job for job in results if job is not None]
+    losers = [d for job, d in zip(results, durations) if job is None]
+    assert len(winners) == 1 and winners[0].id == "only"
+    assert len(losers) == 1
+    # the loser must have honoured (nearly) the whole deadline, not
+    # returned the moment it lost the wakeup race
+    assert losers[0] >= timeout - 0.15, \
+        f"loser returned after {losers[0]:.3f}s < ~{timeout}s deadline"
+
+
+def test_get_deadline_loop_still_times_out():
+    import time
+    q = JobQueue(maxsize=2)
+    t0 = time.monotonic()
+    assert q.get(timeout=0.15) is None
+    assert 0.1 <= time.monotonic() - t0 < 1.0

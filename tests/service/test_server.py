@@ -1,6 +1,7 @@
 """HTTP API tests against a live ``ProfilingServer`` on an ephemeral
 port.  A fast synthetic runner keeps these quick; the full profiler
 path is covered in ``test_service.py``."""
+import contextlib
 import json
 import threading
 import urllib.error
@@ -8,7 +9,8 @@ import urllib.request
 
 import pytest
 
-from repro.service import ProfilingServer, ProfilingService
+from repro.service import (ProfilingServer, ProfilingService,
+                           ShardedProfilingService)
 from .conftest import synthetic_report
 
 
@@ -127,3 +129,84 @@ def test_unknown_job_is_404(server):
 def test_unknown_route_is_404(server):
     assert request(server, "/nope")[0] == 404
     assert request(server, "/nope", {"x": 1})[0] == 404
+
+
+# ----------------------------------------------------------------------
+# sharded multi-process fleet behind the same HTTP API
+# ----------------------------------------------------------------------
+def _fleet_runner(request):
+    return synthetic_report(request.graph.name)
+
+
+def _slow_fleet_runner(request):
+    import time
+    time.sleep(0.5)
+    return synthetic_report(request.graph.name)
+
+
+@contextlib.contextmanager
+def fleet_server(runner=_fleet_runner, processes=2, **kwargs):
+    service = ShardedProfilingService(
+        processes=processes, runner=runner, backoff_seconds=0.001,
+        **kwargs)
+    service.start()
+    srv = ProfilingServer(service, port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield srv
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        service.stop()
+
+
+def test_fleet_profile_round_trip_and_cache_hit():
+    with fleet_server() as srv:
+        status, doc = request(srv, "/profile",
+                              {"model": "mobilenetv2-05", "wait": True})
+        assert status == 200 and doc["status"] == "succeeded"
+        assert doc["report"]["model_name"] == "mobilenetv2-0.5"
+        status, doc = request(srv, "/profile",
+                              {"model": "mobilenetv2-05", "wait": True})
+        assert status == 200 and doc["cache_hit"] is True
+        status, stats = request(srv, "/stats")
+        assert status == 200
+        assert stats["workers"] == 2
+        assert sorted(stats["shards"]) == ["0", "1"]
+        for shard in stats["shards"].values():
+            assert shard["alive"] is True
+
+
+def test_fleet_metrics_expose_per_shard_gauges():
+    with fleet_server() as srv:
+        request(srv, "/profile", {"model": "resnet34", "wait": True})
+        url = f"http://127.0.0.1:{srv.port}/metrics"
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            text = resp.read().decode("utf-8")
+        for needle in ("shard_0_queue_depth", "shard_1_queue_depth",
+                       "shard_0_utilization", "shard_1_utilization",
+                       "queue_depth", "shard_utilization"):
+            assert needle in text, f"missing {needle} in /metrics"
+
+
+def test_fleet_busy_shard_returns_429_with_retry_after():
+    with fleet_server(runner=_slow_fleet_runner, processes=1,
+                      shard_queue_size=1) as srv:
+        status, doc = request(srv, "/profile",
+                              {"model": "resnet34", "wait": False})
+        assert status == 202
+        # the single slot is taken: the next distinct request is shed
+        url = f"http://127.0.0.1:{srv.port}/profile"
+        body = json.dumps({"model": "resnet50", "wait": False})
+        req = urllib.request.Request(
+            url, data=body.encode("utf-8"),
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=30)
+        exc = excinfo.value
+        assert exc.code == 429
+        assert int(exc.headers["Retry-After"]) >= 1
+        payload = json.loads(exc.read())
+        assert payload["retry_after"] > 0
+        assert "queue full" in payload["error"]

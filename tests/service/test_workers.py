@@ -217,3 +217,107 @@ def test_analysis_cache_gauges_cover_every_tier():
     # the gauges are live callbacks, not captured values
     cache.get_or_build("plan", ("fp",), lambda: "plan")
     assert pool.metrics.snapshot()["gauges"]["analysis_cache.plan.hits"] == 2
+
+
+# ----------------------------------------------------------------------
+# regression: stop() must interrupt a retry backoff immediately
+# ----------------------------------------------------------------------
+def test_stop_during_backoff_returns_promptly():
+    """``stop()`` used to block for the whole exponential-backoff chain
+    because the worker slept with ``time.sleep``; the stop event now
+    wakes it mid-backoff and the job fails with its last error."""
+    started = threading.Event()
+
+    def runner(request):
+        started.set()
+        raise ConnectionError("always transient")
+
+    # 5s base backoff: an uninterruptible chain would hold stop() for
+    # 5 + 10 + 20 seconds
+    pool = make_pool(runner, workers=1, backoff=5.0)
+    pool.start()
+    job = pool.submit(Job("j1", "k", Request(), max_retries=3))
+    assert started.wait(5.0)
+    time.sleep(0.05)                     # let the worker enter backoff
+    t0 = time.monotonic()
+    pool.stop()
+    elapsed = time.monotonic() - t0
+    assert elapsed < 2.0, f"stop() blocked {elapsed:.1f}s on backoff"
+    assert job.done and job.status == JobStatus.FAILED
+    assert "always transient" in job.error
+
+
+# ----------------------------------------------------------------------
+# regression: fatal failures are negative-cached with a TTL
+# ----------------------------------------------------------------------
+def test_fatal_failure_short_circuits_identical_requests():
+    calls = []
+
+    def runner(request):
+        calls.append(request)
+        raise UnsupportedModelError("npu rejects this model")
+
+    pool = make_pool(runner, workers=1)
+    pool.start()
+    try:
+        first = pool.submit(Job("j1", "k", Request()))
+        with pytest.raises(JobFailedError, match="npu rejects"):
+            first.result(timeout=5.0)
+        assert len(calls) == 1
+        # the identical request never reaches the queue or the runner
+        second = pool.submit(Job("j2", "k", Request()))
+        assert second.done and second.status == JobStatus.FAILED
+        assert "npu rejects this model" in second.error
+        # ... and carries the original error type, not a generic one
+        assert second.error.startswith("UnsupportedModelError")
+        assert len(calls) == 1
+        assert pool.metrics.counter("jobs.negative_hits").value == 1
+    finally:
+        pool.stop()
+
+
+def test_negative_cache_expires_and_reruns():
+    calls = []
+
+    def runner(request):
+        calls.append(request)
+        raise UnsupportedModelError("still unsupported")
+
+    queue = JobQueue(maxsize=16)
+    pool = WorkerPool(runner, queue=queue,
+                      cache=ResultCache(negative_ttl=0.1),
+                      metrics=MetricsRegistry(), num_workers=1,
+                      backoff_seconds=0.001)
+    pool.start()
+    try:
+        with pytest.raises(JobFailedError):
+            pool.submit(Job("j1", "k", Request())).result(timeout=5.0)
+        assert len(calls) == 1
+        time.sleep(0.15)                 # let the negative entry expire
+        with pytest.raises(JobFailedError):
+            pool.submit(Job("j2", "k", Request())).result(timeout=5.0)
+        assert len(calls) == 2           # the pipeline ran again
+        assert pool.metrics.counter("jobs.negative_hits").value == 0
+    finally:
+        pool.stop()
+
+
+def test_transient_failures_are_not_negative_cached(make_report):
+    calls = []
+
+    def runner(request):
+        calls.append(request)
+        if len(calls) == 1:
+            raise ConnectionError("transient")
+        return make_report()
+
+    pool = make_pool(runner, workers=1, backoff=0.001)
+    pool.start()
+    try:
+        job = pool.submit(Job("j1", "k", Request(), max_retries=1))
+        assert job.result(timeout=5.0) is not None
+        redo = pool.submit(Job("j2", "k", Request()))
+        assert redo.done and redo.cache_hit  # positive hit, not negative
+        assert redo.status == JobStatus.SUCCEEDED
+    finally:
+        pool.stop()
